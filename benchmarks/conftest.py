@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Benchmarks run scaled-down streams by default so the whole suite stays
+in CI-friendly territory; set ``REPRO_BENCH_CHUNKS=524288`` to rerun
+every pipeline experiment at the paper's full 2 GB (4 KiB x 512 Ki
+chunks).  Scaling the stream does not move the steady-state throughput
+numbers materially — the cost model is per-chunk and index depths only
+grow logarithmically — but the full-size run is the configuration
+EXPERIMENTS.md quotes.
+"""
+
+import os
+
+import pytest
+
+#: Default chunk counts per experiment class (overridable via env).
+DEFAULT_PIPELINE_CHUNKS = 65536
+DEFAULT_SWEEP_CHUNKS = 32768
+
+
+def pipeline_chunks() -> int:
+    """Chunk count for single-configuration pipeline experiments."""
+    return int(os.environ.get("REPRO_BENCH_CHUNKS",
+                              DEFAULT_PIPELINE_CHUNKS))
+
+
+def sweep_chunks() -> int:
+    """Chunk count per point of multi-configuration sweeps."""
+    return int(os.environ.get("REPRO_BENCH_CHUNKS",
+                              DEFAULT_SWEEP_CHUNKS)) // 2
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic simulations — repeating them
+    measures nothing new and would multiply minutes-long runs.
+    """
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+    return run

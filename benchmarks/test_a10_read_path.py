@@ -1,0 +1,39 @@
+"""A10 — extension: what inline reduction costs on the *read* path.
+
+The paper measures the write path; a primary storage system also serves
+reads.  This experiment shows reduction is nearly free on reads: LZ
+decode is ~an order of magnitude cheaper than encode, and the SSD's page
+granularity means a half-size compressed chunk still costs one page
+read — so random-read throughput stays SSD-bound with a small CPU tax.
+"""
+
+from repro.bench.experiments import a10_read_path
+from repro.bench.reporting import Table
+
+
+def test_a10_read_path(once):
+    rows = once(a10_read_path)
+
+    table = Table("A10 - random 4 KiB chunk reads, reduced vs raw store",
+                  ["store", "K IOPS", "mean latency (us)", "cpu util",
+                   "ssd util"])
+    for row in rows:
+        table.add_row(row.strategy, row.iops / 1e3,
+                      row.mean_latency_s * 1e6, row.cpu_utilization,
+                      row.ssd_utilization)
+    table.print()
+
+    by_strategy = {row.strategy: row for row in rows}
+    reduced = by_strategy["reduced"]
+    raw = by_strategy["raw"]
+
+    # Reads stay SSD-bound either way.
+    assert reduced.ssd_utilization > 0.9
+    assert raw.ssd_utilization > 0.9
+
+    # Reduction costs < 15% of read throughput...
+    assert reduced.iops > raw.iops * 0.85
+
+    # ...and the CPU tax of decompression is visible but small.
+    assert reduced.cpu_utilization > raw.cpu_utilization
+    assert reduced.cpu_utilization < 0.5

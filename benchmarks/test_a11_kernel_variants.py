@@ -1,0 +1,35 @@
+"""A11 — paper §3.1(2): the local-memory tiled lookup kernel.
+
+The paper's GPU bins use a linear, continuous layout *because* it tiles
+into local memory naturally.  This ablation compares the per-thread
+global-scan kernel against the workgroup-per-bin tiled kernel: once a
+batch directs several queries at the same bin, staging the bin once
+through local memory beats streaming it from global memory per query.
+"""
+
+from repro.bench.experiments import a11_kernel_variants
+from repro.bench.reporting import Table
+
+
+def test_a11_kernel_variants(once):
+    rows = once(a11_kernel_variants)
+
+    table = Table("A11 - lookup kernel variants (256 bins, 64 K entries)",
+                  ["batch", "simple (us)", "tiled (us)",
+                   "global MB simple", "global MB tiled"])
+    for row in rows:
+        table.add_row(row.batch, row.simple_seconds * 1e6,
+                      row.tiled_seconds * 1e6,
+                      row.simple_global_bytes / 1e6,
+                      row.tiled_global_bytes / 1e6)
+    table.print()
+
+    # The tiled kernel's global traffic is bounded by the table size,
+    # not by the query count: the gap grows with the batch.
+    for row in rows:
+        assert row.tiled_global_bytes <= row.simple_global_bytes
+    big = rows[-1]
+    assert big.tiled_global_bytes < big.simple_global_bytes / 2
+
+    # And at large batches the launch itself is faster.
+    assert big.tiled_seconds < big.simple_seconds

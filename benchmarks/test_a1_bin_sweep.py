@@ -1,0 +1,45 @@
+"""A1 — paper §3.1(1): lock-free bin-based indexing scales with cores.
+
+The design argument for bins is that "multiple computing threads can
+check the chunks of multiple hash tables at the same time without
+locking mechanism".  This ablation (a) sweeps the CPU thread count and
+checks near-linear dedup scaling, and (b) reports how evenly SHA-1
+prefixes balance the bins.
+"""
+
+from conftest import sweep_chunks
+
+from repro.bench.experiments import a1_bin_balance, a1_thread_scaling
+from repro.bench.reporting import Table
+
+
+def test_a1_thread_scaling(once):
+    rows = once(a1_thread_scaling, n_chunks=sweep_chunks())
+
+    table = Table("A1 - dedup throughput vs CPU threads (lock-free bins)",
+                  ["threads", "K IOPS", "speedup vs 1T"])
+    base = rows[0].iops
+    for row in rows:
+        table.add_row(row.threads, row.iops / 1e3,
+                      f"{row.iops / base:.2f}x")
+    table.print()
+
+    by_threads = {row.threads: row.iops for row in rows}
+    # Physical cores scale near-linearly (no lock serialization).
+    assert by_threads[4] / by_threads[1] > 3.0
+    # SMT threads help less than physical cores, but still help.
+    assert by_threads[8] > by_threads[4] * 1.1
+    # Monotone overall.
+    series = [row.iops for row in rows]
+    assert series == sorted(series)
+
+
+def test_a1_bin_balance(once):
+    balance = once(a1_bin_balance)
+    table = Table("A1 - bin occupancy balance (mean/max, 100 K entries)",
+                  ["prefix bytes", "bins", "balance"])
+    for prefix_bytes, value in balance.items():
+        table.add_row(prefix_bytes, 256 ** prefix_bytes, value)
+    table.print()
+    # A 1-byte prefix packs ~400 entries/bin: SHA-1 spreads them well.
+    assert balance[1] > 0.7

@@ -1,0 +1,34 @@
+"""A3 — paper §3.3: what the bin buffer buys.
+
+The bin buffer exists for two reasons the paper states: temporal
+locality ("chunks are more likely to find duplicates in the bin buffer")
+and flush shaping ("this creates the appropriate sequential writes for
+the SSD").  This ablation sweeps the buffer budget and reports both
+effects.
+"""
+
+from conftest import sweep_chunks
+
+from repro.bench.experiments import a3_bin_buffer
+from repro.bench.reporting import Table
+
+
+def test_a3_bin_buffer(once):
+    rows = once(a3_bin_buffer, n_chunks=sweep_chunks())
+
+    table = Table("A3 - bin-buffer budget sweep (dedup-only)",
+                  ["buffer entries", "dup hits in buffer",
+                   "mean flush size (chunks)", "K IOPS"])
+    for row in rows:
+        table.add_row(row.buffer_total, row.buffer_hit_fraction,
+                      row.mean_flush_chunks, row.iops / 1e3)
+    table.print()
+
+    # Bigger buffers absorb more duplicate hits (temporal locality).
+    fractions = [row.buffer_hit_fraction for row in rows]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] > fractions[0] + 0.1
+
+    # Bigger buffers flush fuller bins -> larger sequential writes.
+    flush_sizes = [row.mean_flush_chunks for row in rows]
+    assert flush_sizes[-1] > flush_sizes[0] * 1.5

@@ -1,0 +1,52 @@
+"""A5 — paper §4(3): dummy-I/O calibration across platforms.
+
+Paper: "because hardware specifications may be different on different
+platforms, we cannot guarantee that this integration is always right.
+Therefore, before assigning processors to each data reduction operation,
+the performance of these integration methods is compared using dummy
+I/O ... we can ensure the best performance even if the target platform
+is different."
+
+Reproduced: the calibrator picks GPU_COMP on the paper's testbed, and a
+*different* answer on platforms where the trade flips (a weak GPU, a
+much larger CPU) — proving the mode choice is platform-dependent, which
+is the paper's entire reason for shipping the calibrator.
+"""
+
+from repro.bench.experiments import a5_calibration
+from repro.bench.reporting import Table
+from repro.core.modes import IntegrationMode
+
+
+def test_a5_calibration(once):
+    results = once(a5_calibration)
+
+    table = Table("A5 - dummy-I/O calibration across platforms",
+                  ["platform", "best mode", "best K IOPS",
+                   "cpu-only K IOPS", "advantage"])
+    for platform, result in results.items():
+        best = result.iops_by_mode[result.best_mode]
+        cpu_only = result.iops_by_mode[IntegrationMode.CPU_ONLY]
+        table.add_row(platform, result.best_mode.value, best / 1e3,
+                      cpu_only / 1e3,
+                      f"{result.speedup_over_cpu_only():.2f}x")
+    table.print()
+    for platform, result in results.items():
+        print(f"--- {platform} ---")
+        print(result.table())
+
+    # On the paper's testbed, GPU-for-compression wins (Fig. 2).
+    assert results["testbed"].best_mode is IntegrationMode.GPU_COMP
+
+    # On a weak GPU the compression offload stops paying: the winner is
+    # NOT a compression-on-GPU mode.
+    assert not results["weak_gpu"].best_mode.gpu_for_compression
+
+    # A big CPU narrows the GPU's edge substantially versus the testbed.
+    assert (results["big_cpu"].speedup_over_cpu_only()
+            < results["testbed"].speedup_over_cpu_only() * 0.8)
+
+    # The calibrator's pick is self-consistent: it really is the argmax.
+    for result in results.values():
+        assert result.iops_by_mode[result.best_mode] == max(
+            result.iops_by_mode.values())

@@ -1,0 +1,45 @@
+"""A7 — paper §3.2(2): segments-per-chunk trade in the GPU LZ kernel.
+
+The paper's GPU compressor puts multiple threads on one 4 KiB chunk by
+splitting it into overlapping segments.  More segments mean a shorter
+per-thread critical path (so small batches stop being latency-bound) at
+the cost of a slightly worse compression ratio (a thread cannot match
+into its own segment's future, and greedy parses restart at each seam).
+This ablation measures both sides with the *real* kernel and the real
+CPU post-processing, on calibrated ratio-2.0 content.
+"""
+
+from repro.bench.experiments import a7_segment_sweep
+from repro.bench.reporting import Table
+
+
+def test_a7_segment_sweep(once):
+    rows = once(a7_segment_sweep)
+
+    table = Table("A7 - GPU LZ segments per 4 KiB chunk",
+                  ["segments", "achieved ratio", "ratio loss vs serial",
+                   "critical path (us)"])
+    for row in rows:
+        table.add_row(row.segments, row.ratio,
+                      f"{row.ratio_loss_vs_serial * 100:.2f}%",
+                      row.kernel_critical_path_s * 1e6)
+    table.print()
+
+    by_segments = {row.segments: row for row in rows}
+
+    # One segment == the serial parse: zero loss.
+    assert abs(by_segments[1].ratio_loss_vs_serial) < 1e-9
+
+    # The paper's operating point (multiple threads per chunk) costs
+    # only a few percent of ratio...
+    assert by_segments[8].ratio_loss_vs_serial < 0.05
+
+    # ...while cutting the per-thread critical path by ~8x.
+    assert (by_segments[1].kernel_critical_path_s
+            > by_segments[8].kernel_critical_path_s * 6)
+
+    # Loss grows (weakly) with segmentation; latency shrinks with it.
+    losses = [row.ratio_loss_vs_serial for row in rows]
+    assert losses == sorted(losses)
+    criticals = [row.kernel_critical_path_s for row in rows]
+    assert criticals == sorted(criticals, reverse=True)

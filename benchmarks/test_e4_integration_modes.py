@@ -1,0 +1,63 @@
+"""E4 — paper Fig. 2 / §4(3): throughput of the four integration modes.
+
+Paper: "Allocating the GPU for compression is the best choice among the
+integration methods.  This is because data compression, which has a high
+performance gain when using a GPU, monopolizes the GPU."  And the
+headline: "GPU-supported integration shows a performance improvement of
+89.7% over parallel data reduction operations using CPU (deduplication
+ratio 2.0, compression 2.0)."
+
+Reproduced shape: GPU_COMP wins; GPU_BOTH loses to GPU_COMP because
+latency-critical index lookups queue behind compression batches on the
+in-order device queue; GPU_COMP ~ +90% over CPU_ONLY.
+"""
+
+from conftest import pipeline_chunks
+
+from repro.bench.experiments import e4_integration
+from repro.bench.reporting import BarChart, Table
+from repro.core.modes import IntegrationMode
+
+
+def test_e4_integration_modes(once):
+    results = once(e4_integration, n_chunks=pipeline_chunks())
+
+    chart = BarChart("E4 / Fig. 2 - integration-mode throughput "
+                     "(dedup 2.0 x comp 2.0)", unit=" K IOPS")
+    table = Table("E4 - integration modes",
+                  ["mode", "K IOPS", "vs CPU-only", "cpu util",
+                   "gpu util", "gpu queue wait (us)"])
+    cpu_only = results[IntegrationMode.CPU_ONLY]
+    for mode in IntegrationMode.all_modes():
+        report = results[mode]
+        chart.add_bar(mode.value, report.iops / 1e3)
+        table.add_row(mode.value, report.iops / 1e3,
+                      f"{report.speedup_over(cpu_only):.3f}x",
+                      report.cpu_utilization, report.gpu_utilization,
+                      report.gpu_mean_queue_wait_s * 1e6)
+    chart.print()
+    table.print()
+
+    gpu_comp = results[IntegrationMode.GPU_COMP]
+    gpu_both = results[IntegrationMode.GPU_BOTH]
+    gpu_dedup = results[IntegrationMode.GPU_DEDUP]
+
+    # Paper's ordering: GPU-for-compression is the best choice.
+    assert gpu_comp.iops > gpu_both.iops
+    assert gpu_both.iops > gpu_dedup.iops
+    assert gpu_dedup.iops > cpu_only.iops
+
+    # Paper's headline: +89.7% for the best GPU integration over
+    # CPU-only (we accept +70%..+110%).
+    gain = gpu_comp.speedup_over(cpu_only) - 1.0
+    assert 0.70 < gain < 1.10
+
+    # The mechanism behind GPU_BOTH < GPU_COMP: its launches wait longer
+    # behind each other on the in-order queue.
+    assert (gpu_both.gpu_mean_queue_wait_s
+            > gpu_comp.gpu_mean_queue_wait_s)
+
+    # Every mode computes the same reduction (timing differs, outcome
+    # must not).
+    uniques = {r.counters["uniques"] for r in results.values()}
+    assert len(uniques) == 1

@@ -1,0 +1,59 @@
+"""E5 — paper Fig. 1: the integrated workflow, edge by edge.
+
+Fig. 1 is the workflow diagram of the integrated system.  This
+experiment runs the full GPU_BOTH pipeline and prints how many chunks
+travelled each decision edge, asserting that *every* edge of the figure
+is actually exercised: GPU index hit, bin-buffer hit, bin-tree hit,
+unique -> compression -> bin-buffer update, and bin-buffer flush ->
+storage + GPU-bin update.
+"""
+
+from conftest import pipeline_chunks
+
+from repro.bench.experiments import e5_workflow
+from repro.bench.reporting import Table
+
+
+def test_e5_workflow_fig1(once):
+    # Half the pipeline default: enough stream for bins to fill, flush,
+    # and populate the GPU index so the GPU-hit edge carries traffic.
+    report = once(e5_workflow, n_chunks=pipeline_chunks() // 2)
+    total = report.chunks
+    counters = report.counters
+
+    table = Table("E5 / Fig. 1 - workflow decision-edge traffic",
+                  ["edge", "chunks", "fraction"])
+    rows = [
+        ("GPU index hit -> duplicate", counters["gpu_hits"]),
+        ("bin-buffer hit -> duplicate", counters["buffer_hits"]),
+        ("bin-tree hit -> duplicate", counters["tree_hits"]),
+        ("in-flight twin -> duplicate",
+         counters.get("pending_hits", 0)),
+        ("unique -> compress -> buffer", counters["uniques"]),
+        ("bin-buffer flush -> storage+GPU", counters["flushes"]),
+    ]
+    for label, count in rows:
+        table.add_row(label, count, count / total)
+    table.print()
+
+    # Every Fig. 1 edge saw traffic.
+    assert counters["gpu_hits"] > 0
+    assert counters["buffer_hits"] > 0
+    assert counters["uniques"] > 0
+    assert counters["flushes"] > 0
+
+    # Conservation: every chunk took exactly one terminal edge.
+    terminal = (counters["gpu_hits"] + counters["buffer_hits"]
+                + counters["tree_hits"]
+                + counters.get("pending_hits", 0)
+                + counters.get("race_duplicates", 0)
+                + counters["uniques"])
+    assert terminal == total
+
+    # The flushes really destaged sequential writes (the shutdown drain
+    # adds further batches for the still-staged bins).
+    assert report.destage_batches >= counters["flushes"]
+    assert report.nand_bytes_written > 0
+
+    # The dedup dial came back out of the metadata ledger.
+    assert 1.8 < report.dedup_ratio < 2.2

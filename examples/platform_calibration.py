@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Pick the right integration mode for *your* platform via dummy I/O.
+
+The paper's closing idea (§4(3)): the best CPU/GPU split is
+platform-dependent, so the system measures all four integration modes
+with dummy I/O before committing.  This example calibrates three very
+different platforms and shows the chooser flipping its answer.
+
+Run:  python examples/platform_calibration.py
+"""
+
+from repro import calibrate_mode
+from repro.cpu.model import CpuSpec
+from repro.gpu.device import GpuSpec
+
+PLATFORMS = {
+    "paper testbed (i7-2600K + HD 7970)": dict(),
+    "laptop with weak dGPU": dict(
+        cpu_spec=CpuSpec(name="mobile quad", cores=4, threads=8,
+                         freq_hz=2.4e9),
+        gpu_spec=GpuSpec(name="entry dGPU", compute_units=4,
+                         lanes_per_cu=32, freq_hz=600e6,
+                         mem_bandwidth_bps=28e9,
+                         mem_capacity_bytes=1024**3,
+                         launch_overhead_s=180e-6,
+                         sync_overhead_s=180e-6, occupancy=0.2)),
+    "big dual-socket server, same GPU": dict(
+        cpu_spec=CpuSpec(name="2S server", cores=24, threads=48,
+                         freq_hz=2.6e9)),
+}
+
+
+def main() -> None:
+    for name, spec in PLATFORMS.items():
+        print(f"\n### {name}")
+        result = calibrate_mode(dummy_chunks=6144, **spec)
+        print(result.table())
+        print(f"-> commit to {result.best_mode.value} "
+              f"({result.speedup_over_cpu_only():.2f}x over CPU-only)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — parallel inline data reduction for SSD primary storage.
+
+A from-scratch reproduction of Ma & Park, *Parallelizing Inline Data
+Reduction Operations for Primary Storage Systems* (PaCT 2017): bin-based
+deduplication and segment-parallel LZ compression spread across a
+multi-core CPU and a GPU, with the whole testbed (CPU, GPU, PCIe, SSD)
+provided as functional + timed simulators so the paper's evaluation
+reruns on any machine.
+
+Quick taste (functional volume)::
+
+    from repro import ReducedVolume
+
+    volume = ReducedVolume()
+    volume.write(0, b"hello world" * 1024)
+    volume.write(65536, b"hello world" * 1024)   # deduplicates
+    assert volume.read(0, 4096) == (b"hello world" * 1024)[:4096]
+    print(volume.reduction_ratio())
+
+Quick taste (timed evaluation)::
+
+    from repro.core import IntegrationMode
+    from repro.core.calibration import run_mode
+
+    report = run_mode(IntegrationMode.GPU_COMP, n_chunks=8192)
+    print(f"{report.iops / 1e3:.1f} K IOPS")
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.calibration import calibrate_mode, run_mode
+from repro.core.config import PipelineConfig
+from repro.core.modes import IntegrationMode
+from repro.core.pipeline import ReductionPipeline
+from repro.core.stats import PipelineReport
+from repro.errors import ReproError
+from repro.storage.volume import ReducedVolume
+from repro.types import Chunk, DEFAULT_CHUNK_SIZE
+from repro.workload.vdbench import VdbenchStream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "calibrate_mode",
+    "run_mode",
+    "PipelineConfig",
+    "IntegrationMode",
+    "ReductionPipeline",
+    "PipelineReport",
+    "ReproError",
+    "ReducedVolume",
+    "Chunk",
+    "DEFAULT_CHUNK_SIZE",
+    "VdbenchStream",
+    "__version__",
+]

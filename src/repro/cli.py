@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's everyday uses:
+
+* ``run`` — one timed pipeline run on the simulated testbed;
+* ``calibrate`` — the paper's dummy-I/O mode chooser, with platform knobs;
+* ``evaluate`` — the paper's §4 evaluation at a chosen scale;
+* ``codec`` — compress/decompress a real file with the bundled codecs
+  (round-trip verified), reporting the achieved ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.bench.experiments import (
+    SSD_IOPS,
+    e2_dedup,
+    e3_compression,
+    e4_integration,
+)
+from repro.bench.reporting import BarChart, Table
+from repro.compression import LzssCodec, QuickLzCodec
+from repro.core.calibration import calibrate_mode, run_mode
+from repro.core.modes import IntegrationMode
+from repro.cpu.model import CpuSpec, I7_2600K
+from repro.gpu.device import GpuSpec, RADEON_HD_7970
+
+#: GPU presets selectable from the command line.
+GPU_PRESETS: dict[str, Optional[GpuSpec]] = {
+    "testbed": RADEON_HD_7970,
+    "weak": GpuSpec(name="entry dGPU", compute_units=4, lanes_per_cu=32,
+                    freq_hz=600e6, mem_bandwidth_bps=28e9,
+                    mem_capacity_bytes=1024**3,
+                    launch_overhead_s=180e-6, sync_overhead_s=180e-6,
+                    occupancy=0.2),
+    "none": None,
+}
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chunks", type=int, default=16384,
+                        help="stream length in 4 KiB chunks")
+    parser.add_argument("--dedup-ratio", type=float, default=2.0,
+                        help="workload deduplication dial")
+    parser.add_argument("--comp-ratio", type=float, default=2.0,
+                        help="workload compression dial")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="workload RNG seed")
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cpu-cores", type=int, default=I7_2600K.cores)
+    parser.add_argument("--cpu-threads", type=int,
+                        default=I7_2600K.threads)
+    parser.add_argument("--cpu-ghz", type=float,
+                        default=I7_2600K.freq_hz / 1e9)
+    parser.add_argument("--gpu", choices=sorted(GPU_PRESETS),
+                        default="testbed", help="GPU preset")
+
+
+def _platform_from(args: argparse.Namespace) -> dict:
+    cpu_spec = CpuSpec(name="cli", cores=args.cpu_cores,
+                       threads=args.cpu_threads,
+                       freq_hz=args.cpu_ghz * 1e9)
+    return {"cpu_spec": cpu_spec, "gpu_spec": GPU_PRESETS[args.gpu]}
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    mode = IntegrationMode(args.mode)
+    platform = _platform_from(args)
+    if platform["gpu_spec"] is None and (mode.gpu_for_dedup
+                                         or mode.gpu_for_compression):
+        print(f"error: mode {mode.value} needs a GPU (use --gpu)",
+              file=sys.stderr)
+        return 2
+    started = time.time()
+    report = run_mode(mode, args.chunks, dedup_ratio=args.dedup_ratio,
+                      comp_ratio=args.comp_ratio, seed=args.seed,
+                      **platform)
+    table = Table(f"pipeline run: {mode.value}, {args.chunks} chunks "
+                  f"(dedup {args.dedup_ratio} x comp {args.comp_ratio})",
+                  ["metric", "value"])
+    table.add_row("throughput", f"{report.iops / 1e3:.1f} K IOPS")
+    table.add_row("ingest", f"{report.mb_per_s:.1f} MB/s")
+    table.add_row("vs SSD write IOPS", f"{report.iops / SSD_IOPS:.2f}x")
+    table.add_row("mean chunk latency",
+                  f"{report.mean_latency_s * 1e6:.0f} us")
+    table.add_row("cpu utilization", f"{report.cpu_utilization:.1%}")
+    table.add_row("gpu utilization", f"{report.gpu_utilization:.1%}")
+    table.add_row("dedup ratio", f"{report.dedup_ratio:.2f}x")
+    table.add_row("compression ratio", f"{report.comp_ratio:.2f}x")
+    table.add_row("total reduction", f"{report.reduction_ratio:.2f}x")
+    table.add_row("NAND programmed",
+                  f"{report.nand_bytes_written / 1e6:.1f} MB")
+    table.add_row("wall time", f"{time.time() - started:.1f} s")
+    table.print()
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    result = calibrate_mode(dummy_chunks=args.chunks,
+                            dedup_ratio=args.dedup_ratio,
+                            comp_ratio=args.comp_ratio,
+                            seed=args.seed, **_platform_from(args))
+    print(result.table())
+    print(f"\n-> commit to {result.best_mode.value} "
+          f"({result.speedup_over_cpu_only():.2f}x over CPU-only)")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    n = args.chunks
+    print(f"paper evaluation at {n} chunks "
+          f"({n * 4096 // 1024**2} MiB) per run\n")
+
+    results = e2_dedup(n_chunks=n)
+    cpu, gpu = results["cpu_only"], results["gpu_assisted"]
+    print(f"S4(1) dedup: CPU {cpu.iops / 1e3:.1f} K, "
+          f"GPU-assisted {gpu.iops / 1e3:.1f} K "
+          f"(+{gpu.speedup_over(cpu) - 1:.1%}; paper +15.0%), "
+          f"{gpu.iops / SSD_IOPS:.2f}x SSD (paper ~3x)")
+
+    rows = e3_compression(ratios=(1.2, 2.0, 4.0), n_chunks=max(n // 2, 1))
+    table = Table("S4(2) compression", ["comp ratio", "CPU K IOPS",
+                                        "GPU K IOPS", "GPU/CPU"])
+    for row in rows:
+        table.add_row(row.comp_ratio, row.cpu_iops / 1e3,
+                      row.gpu_iops / 1e3, f"{row.gpu_advantage:.2f}x")
+    table.print()
+
+    integration = e4_integration(n_chunks=n)
+    chart = BarChart("S4(3) / Fig. 2: integration modes", unit=" K IOPS")
+    for mode in IntegrationMode.all_modes():
+        chart.add_bar(mode.value, integration[mode].iops / 1e3)
+    chart.print()
+    best = integration[IntegrationMode.GPU_COMP]
+    base = integration[IntegrationMode.CPU_ONLY]
+    print(f"GPU-for-compression: +{best.speedup_over(base) - 1:.1%} "
+          "over CPU-only (paper +89.7%)")
+    return 0
+
+
+def _render_result(result) -> None:
+    """Generic pretty-printer for experiment return shapes."""
+    import dataclasses
+
+    def show_value(value):
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    if dataclasses.is_dataclass(result) and not isinstance(result, type):
+        for field_info in dataclasses.fields(result):
+            print(f"  {field_info.name}: "
+                  f"{show_value(getattr(result, field_info.name))}")
+        return
+    if isinstance(result, dict):
+        for key, value in result.items():
+            label = getattr(key, "value", key)
+            if hasattr(value, "iops"):
+                print(f"  {label}: {value.iops / 1e3:.1f} K IOPS")
+            elif hasattr(value, "table"):
+                print(f"--- {label} ---")
+                print(value.table())
+            else:
+                print(f"  {label}: {show_value(value)}")
+        return
+    if isinstance(result, list) and result \
+            and dataclasses.is_dataclass(result[0]):
+        columns = [f.name for f in dataclasses.fields(result[0])]
+        table = Table("result", columns)
+        for row in result:
+            table.add_row(*(show_value(getattr(row, c))
+                            for c in columns))
+        table.print()
+        return
+    if hasattr(result, "iops"):
+        print(f"  {result.iops / 1e3:.1f} K IOPS "
+              f"(counters: {result.counters})")
+        return
+    print(f"  {result!r}")
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import registry
+
+    experiments = registry()
+    if args.experiment == "list":
+        for name in experiments:
+            print(name)
+        return 0
+    runner = experiments.get(args.experiment)
+    if runner is None:
+        print(f"error: unknown experiment {args.experiment!r} "
+              f"(try 'repro bench list')", file=sys.stderr)
+        return 2
+    started = time.time()
+    result = runner()
+    print(f"=== {args.experiment} "
+          f"(wall {time.time() - started:.1f} s) ===")
+    _render_result(result)
+    return 0
+
+
+def cmd_codec(args: argparse.Namespace) -> int:
+    codec = LzssCodec() if args.codec == "lzss" else QuickLzCodec()
+    try:
+        with open(args.file, "rb") as handle:
+            data = handle.read(args.limit)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not data:
+        print("error: empty input", file=sys.stderr)
+        return 2
+    started = time.time()
+    blob = codec.encode(data)
+    encode_s = time.time() - started
+    if codec.decode(blob) != data:
+        print("error: round-trip mismatch (codec bug!)", file=sys.stderr)
+        return 1
+    print(f"{args.codec}: {len(data):,} B -> {len(blob):,} B "
+          f"(ratio {len(data) / len(blob):.3f}x), "
+          f"encoded in {encode_s:.2f} s, round-trip verified")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel inline data reduction (Ma & Park, "
+                    "PaCT 2017) on a simulated CPU/GPU/SSD testbed.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one timed pipeline run")
+    run.add_argument("--mode", default="gpu_comp",
+                     choices=[m.value for m in IntegrationMode])
+    _add_workload_args(run)
+    _add_platform_args(run)
+    run.set_defaults(func=cmd_run)
+
+    cal = sub.add_parser("calibrate",
+                         help="dummy-I/O integration-mode chooser")
+    _add_workload_args(cal)
+    _add_platform_args(cal)
+    cal.set_defaults(func=cmd_calibrate)
+
+    ev = sub.add_parser("evaluate", help="re-run the paper's S4")
+    _add_workload_args(ev)
+    ev.set_defaults(func=cmd_evaluate)
+
+    bench = sub.add_parser("bench",
+                           help="run one experiment by id (or 'list')")
+    bench.add_argument("experiment",
+                       help="experiment id (e1..e5, a1..a14) or 'list'")
+    bench.set_defaults(func=cmd_bench)
+
+    codec = sub.add_parser("codec",
+                           help="compress a real file with a bundled codec")
+    codec.add_argument("file", help="input file")
+    codec.add_argument("--codec", choices=("lzss", "quicklz"),
+                       default="quicklz")
+    codec.add_argument("--limit", type=int, default=1 << 20,
+                       help="max bytes to read (pure-Python codecs)")
+    codec.set_defaults(func=cmd_codec)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

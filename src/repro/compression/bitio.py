@@ -1,0 +1,76 @@
+"""Bit-level I/O: the substrate for entropy coding.
+
+MSB-first bit order (like DEFLATE's Huffman trees read naturally), with
+explicit end-of-stream accounting so decoders never run off the end
+silently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CorruptStreamError
+
+
+class BitWriter:
+    """Accumulates bits MSB-first into a byte buffer."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+        self.bits_written = 0
+
+    def write_bit(self, bit: int) -> None:
+        """Append one bit."""
+        self.write_bits(bit & 1, 1)
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (MSB of the field first)."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        self._accumulator = (self._accumulator << width) | value
+        self._bit_count += width
+        self.bits_written += width
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            self._out.append((self._accumulator >> self._bit_count) & 0xFF)
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def getvalue(self) -> bytes:
+        """The written stream, zero-padded to a byte boundary."""
+        if self._bit_count:
+            tail = (self._accumulator << (8 - self._bit_count)) & 0xFF
+            return bytes(self._out) + bytes([tail])
+        return bytes(self._out)
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer."""
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0  # bit position
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the buffer (including any writer padding)."""
+        return len(self._data) * 8 - self._pos
+
+    def read_bit(self) -> int:
+        """Consume one bit."""
+        if self._pos >= len(self._data) * 8:
+            raise CorruptStreamError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Consume ``width`` bits as one MSB-first integer."""
+        if width < 0:
+            raise ValueError(f"negative width {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value

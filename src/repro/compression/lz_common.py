@@ -1,0 +1,187 @@
+"""Shared LZ machinery: parameters, tokens, and the canonical container.
+
+All LZ paths in the library (serial LZSS, the GPU segment-parallel path
+after post-processing) produce the same *token* representation — a list of
+:class:`Literal` and :class:`Match` — and the same serialized container,
+so one decoder handles every producer.  That mirrors the paper's design:
+the GPU emits raw match candidates and the CPU refines them into the same
+stream format the storage system already understands.
+
+Container format (big-endian)::
+
+    [u32 original_length][flag/token stream ...]
+
+Token stream: groups of up to 8 tokens share one flags byte; bit i of the
+flags byte (LSB first) is 1 for a match, 0 for a literal.  A literal is
+one raw byte.  A match is two bytes: ``dddddddd dddd llll`` — a 12-bit
+backward distance (1-based) and a 4-bit length encoding ``length -
+min_match``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.errors import CompressionError, CorruptStreamError
+
+
+@dataclass(frozen=True)
+class LzParams:
+    """Window geometry shared by every LZ path."""
+
+    window: int = 4096
+    min_match: int = 3
+    max_match: int = 18
+
+    def __post_init__(self) -> None:
+        if self.window < 2 or self.window > 4096:
+            raise CompressionError(
+                f"window must be in [2, 4096] for 12-bit distances, "
+                f"got {self.window}")
+        if self.min_match < 2:
+            raise CompressionError(f"min_match too small: {self.min_match}")
+        if self.max_match < self.min_match:
+            raise CompressionError("max_match < min_match")
+        if self.max_match - self.min_match > 15:
+            raise CompressionError(
+                "match length range exceeds the 4-bit length field")
+
+
+DEFAULT_PARAMS = LzParams()
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A single uncompressed byte."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 255:
+            raise CompressionError(f"invalid literal byte {self.value}")
+
+
+@dataclass(frozen=True)
+class Match:
+    """A backward reference: copy ``length`` bytes from ``distance`` back."""
+
+    distance: int
+    length: int
+
+    def validate(self, params: LzParams) -> None:
+        """Raise unless the match fits the container's bit fields."""
+        if not 1 <= self.distance <= params.window:
+            raise CompressionError(f"match distance {self.distance} "
+                                   f"outside window {params.window}")
+        if not params.min_match <= self.length <= params.max_match:
+            raise CompressionError(f"match length {self.length} outside "
+                                   f"[{params.min_match}, {params.max_match}]")
+
+
+Token = Union[Literal, Match]
+
+
+def token_output_length(tokens: Iterable[Token]) -> int:
+    """Plaintext bytes the token sequence expands to."""
+    total = 0
+    for token in tokens:
+        total += token.length if isinstance(token, Match) else 1
+    return total
+
+
+def tokens_to_bytes(tokens: list[Token], original_length: int,
+                    params: LzParams = DEFAULT_PARAMS) -> bytes:
+    """Serialize a token list into the canonical container."""
+    if original_length != token_output_length(tokens):
+        raise CompressionError(
+            f"token stream expands to {token_output_length(tokens)} bytes "
+            f"but header claims {original_length}")
+    out = bytearray(struct.pack(">I", original_length))
+    for group_start in range(0, len(tokens), 8):
+        group = tokens[group_start:group_start + 8]
+        flags = 0
+        body = bytearray()
+        for bit, token in enumerate(group):
+            if isinstance(token, Match):
+                token.validate(params)
+                flags |= 1 << bit
+                distance = token.distance - 1          # 1-based -> 12 bits
+                length = token.length - params.min_match
+                body.append((distance >> 4) & 0xFF)
+                body.append(((distance & 0x0F) << 4) | (length & 0x0F))
+            else:
+                body.append(token.value)
+        out.append(flags)
+        out.extend(body)
+    return bytes(out)
+
+
+def bytes_to_tokens(blob: bytes,
+                    params: LzParams = DEFAULT_PARAMS) -> tuple[list[Token], int]:
+    """Parse the canonical container back into (tokens, original_length)."""
+    if len(blob) < 4:
+        raise CorruptStreamError("container shorter than its header")
+    (original_length,) = struct.unpack(">I", blob[:4])
+    tokens: list[Token] = []
+    produced = 0
+    pos = 4
+    while produced < original_length:
+        if pos >= len(blob):
+            raise CorruptStreamError("container truncated mid-stream")
+        flags = blob[pos]
+        pos += 1
+        for bit in range(8):
+            if produced >= original_length:
+                break
+            if flags & (1 << bit):
+                if pos + 2 > len(blob):
+                    raise CorruptStreamError("container truncated in a match")
+                hi, lo = blob[pos], blob[pos + 1]
+                pos += 2
+                distance = ((hi << 4) | (lo >> 4)) + 1
+                length = (lo & 0x0F) + params.min_match
+                if distance > produced:
+                    raise CorruptStreamError(
+                        f"match reaches {distance} bytes back with only "
+                        f"{produced} bytes produced")
+                tokens.append(Match(distance, length))
+                produced += length
+            else:
+                if pos + 1 > len(blob):
+                    raise CorruptStreamError(
+                        "container truncated in a literal")
+                tokens.append(Literal(blob[pos]))
+                pos += 1
+                produced += 1
+    if produced != original_length:
+        raise CorruptStreamError(
+            f"stream expands to {produced} bytes, header says "
+            f"{original_length}")
+    return tokens, original_length
+
+
+def decode_tokens(tokens: Iterable[Token]) -> bytes:
+    """Expand a token sequence into plaintext."""
+    out = bytearray()
+    for token in tokens:
+        if isinstance(token, Match):
+            if token.distance > len(out):
+                raise CorruptStreamError(
+                    f"match distance {token.distance} exceeds produced "
+                    f"output {len(out)}")
+            start = len(out) - token.distance
+            # Overlapping copies are legal and must be byte-by-byte.
+            for i in range(token.length):
+                out.append(out[start + i])
+        else:
+            out.append(token.value)
+    return bytes(out)
+
+
+def compression_ratio(original: int, compressed: int) -> float:
+    """original/compressed, guarding the degenerate empty case."""
+    if compressed <= 0:
+        return 1.0 if original == 0 else float("inf")
+    return original / compressed

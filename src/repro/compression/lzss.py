@@ -1,0 +1,147 @@
+"""Serial LZSS codec: the library's reference compressor.
+
+A textbook LZSS with a hash-chain match finder.  Greedy parsing by
+default; optional lazy matching (one-byte lookahead) squeezes out a
+slightly better ratio at a higher search cost, which the CPU cost model
+prices accordingly.
+
+This codec defines the canonical compressed format (see
+:mod:`~repro.compression.lz_common`), and its decoder is the single
+decoder used for *every* producer in the library, including the GPU
+segment-parallel path after post-processing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compression.lz_common import (
+    DEFAULT_PARAMS,
+    Literal,
+    LzParams,
+    Match,
+    Token,
+    bytes_to_tokens,
+    decode_tokens,
+    tokens_to_bytes,
+)
+from repro.errors import CompressionError
+
+#: Bound on hash-chain length; keeps worst-case encode cost linearish.
+_MAX_CHAIN = 64
+
+
+def _hash3(data: bytes, pos: int) -> int:
+    """Order-sensitive 3-byte rolling key for the match-finder table."""
+    return (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+
+
+class MatchFinder:
+    """Hash-chain search for the longest backward match at a position.
+
+    Positions are inserted as the encoder advances; lookups only consider
+    candidates no further back than the window and no earlier than
+    ``min_start`` (used by the GPU segment path to clamp history to the
+    overlap region).
+    """
+
+    def __init__(self, data: bytes, params: LzParams = DEFAULT_PARAMS):
+        self.data = data
+        self.params = params
+        self._chains: dict[int, list[int]] = {}
+
+    def insert(self, pos: int) -> None:
+        """Register ``pos`` as a future match candidate."""
+        if pos + 3 <= len(self.data):
+            chain = self._chains.setdefault(_hash3(self.data, pos), [])
+            chain.append(pos)
+            if len(chain) > _MAX_CHAIN:
+                del chain[0]
+
+    def longest_match(self, pos: int,
+                      min_start: int = 0) -> Optional[Match]:
+        """Best match at ``pos`` whose source starts at >= ``min_start``."""
+        data, params = self.data, self.params
+        limit = min(len(data) - pos, params.max_match)
+        if limit < params.min_match or pos + 3 > len(data):
+            return None
+        window_start = max(min_start, pos - params.window)
+        best_len = params.min_match - 1
+        best_dist = 0
+        for candidate in reversed(self._chains.get(_hash3(data, pos), ())):
+            if candidate < window_start:
+                break
+            length = 0
+            while (length < limit
+                   and data[candidate + length] == data[pos + length]):
+                length += 1
+            if length > best_len:
+                best_len = length
+                best_dist = pos - candidate
+                if length >= limit:
+                    break
+        if best_len >= params.min_match:
+            return Match(distance=best_dist, length=best_len)
+        return None
+
+
+class LzssCodec:
+    """Encode/decode bytes using the canonical LZSS container."""
+
+    def __init__(self, params: LzParams = DEFAULT_PARAMS, lazy: bool = False):
+        self.params = params
+        self.lazy = lazy
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode_to_tokens(self, data: bytes) -> list[Token]:
+        """Produce the token list for ``data`` (greedy or lazy parse)."""
+        finder = MatchFinder(data, self.params)
+        tokens: list[Token] = []
+        pos = 0
+        n = len(data)
+        while pos < n:
+            match = finder.longest_match(pos)
+            if match is not None and self.lazy and pos + 1 < n:
+                finder.insert(pos)
+                next_match = finder.longest_match(pos + 1)
+                if next_match is not None and next_match.length > match.length:
+                    # Deferring wins: emit a literal, take the later match.
+                    tokens.append(Literal(data[pos]))
+                    pos += 1
+                    continue
+                match_here = match
+            else:
+                match_here = match
+            if match_here is not None:
+                tokens.append(match_here)
+                for offset in range(match_here.length):
+                    finder.insert(pos + offset)
+                pos += match_here.length
+            else:
+                tokens.append(Literal(data[pos]))
+                finder.insert(pos)
+                pos += 1
+        return tokens
+
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data`` into the canonical container."""
+        tokens = self.encode_to_tokens(data)
+        return tokens_to_bytes(tokens, len(data), self.params)
+
+    # -- decoding ----------------------------------------------------------
+
+    def decode(self, blob: bytes) -> bytes:
+        """Decompress a canonical container back to plaintext."""
+        tokens, original_length = bytes_to_tokens(blob, self.params)
+        out = decode_tokens(tokens)
+        if len(out) != original_length:
+            raise CompressionError(
+                f"decoded {len(out)} bytes, expected {original_length}")
+        return out
+
+    def ratio(self, data: bytes) -> float:
+        """Achieved compression ratio (original/compressed) on ``data``."""
+        if not data:
+            return 1.0
+        return len(data) / len(self.encode(data))

@@ -1,0 +1,123 @@
+"""CPU post-processing of raw GPU compression output (paper §3.2(2)-(3)).
+
+The GPU returns unrefined per-segment token lists; "the CPU must refine
+the results".  Refinement here means what it meant on the testbed:
+
+1. validate that the segments tile the chunk exactly and that every match
+   stays inside the backward window (seam matches reach into the previous
+   segment's overlap region — legal, because the sequential decoder has
+   full history by the time it gets there);
+2. stitch the per-segment token lists into one stream;
+3. repair the seams: a segment thread must clamp its final match at its
+   own boundary (the right neighbour's parse is not final while it runs),
+   so the CPU extends seam-straddling matches into the next segment's
+   leading literals;
+4. pack the stream into the canonical LZSS container.
+
+The result decodes with the ordinary :class:`~repro.compression.lzss.LzssCodec`
+decoder, which is the whole point: downstream storage never knows whether
+a chunk was compressed by the CPU or the GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.compression.lz_common import (
+    DEFAULT_PARAMS,
+    Literal,
+    LzParams,
+    Match,
+    Token,
+    token_output_length,
+    tokens_to_bytes,
+)
+from repro.errors import CompressionError
+from repro.gpu.kernels.lz import SegmentOutput
+
+
+def validate_segments(outputs: Sequence[SegmentOutput],
+                      chunk_length: int,
+                      params: LzParams = DEFAULT_PARAMS) -> None:
+    """Raise unless the segment outputs exactly tile ``chunk_length``."""
+    expected_start = 0
+    for out in outputs:
+        if out.start != expected_start:
+            raise CompressionError(
+                f"segment {out.segment_index} starts at {out.start}, "
+                f"expected {expected_start}")
+        span = token_output_length(out.tokens)
+        if span != out.end - out.start:
+            raise CompressionError(
+                f"segment {out.segment_index} tokens expand to {span} "
+                f"bytes, span is {out.end - out.start}")
+        position = out.start
+        for token in out.tokens:
+            if isinstance(token, Match):
+                token.validate(params)
+                if token.distance > position:
+                    raise CompressionError(
+                        f"segment {out.segment_index} match at {position} "
+                        f"reaches {token.distance} bytes back")
+                position += token.length
+            else:
+                position += 1
+        expected_start = out.end
+    if expected_start != chunk_length:
+        raise CompressionError(
+            f"segments cover {expected_start} bytes of a "
+            f"{chunk_length}-byte chunk")
+
+
+def _extend_across_seam(chunk: bytes, merged: list[Token],
+                        next_tokens: list[Token], seam: int,
+                        params: LzParams) -> tuple[list[Token], int]:
+    """Extend a match that was clamped at the seam into leading literals.
+
+    Returns the possibly-modified ``next_tokens`` and the number of bytes
+    absorbed into the previous segment's final match.
+    """
+    if not merged or not next_tokens:
+        return next_tokens, 0
+    last = merged[-1]
+    if not isinstance(last, Match) or last.length >= params.max_match:
+        return next_tokens, 0
+    absorbed = 0
+    tokens = list(next_tokens)
+    length = last.length
+    while (tokens and isinstance(tokens[0], Literal)
+           and length < params.max_match
+           and chunk[seam + absorbed - last.distance]
+           == chunk[seam + absorbed]):
+        tokens.pop(0)
+        absorbed += 1
+        length += 1
+    if absorbed:
+        merged[-1] = Match(distance=last.distance, length=length)
+    return tokens, absorbed
+
+
+def merge_segments(chunk: bytes, outputs: Sequence[SegmentOutput],
+                   params: LzParams = DEFAULT_PARAMS,
+                   repair_seams: bool = True) -> list[Token]:
+    """Stitch raw segment outputs into one valid token stream."""
+    ordered = sorted(outputs, key=lambda o: o.segment_index)
+    validate_segments(ordered, len(chunk), params)
+    merged: list[Token] = []
+    for out in ordered:
+        tokens = list(out.tokens)
+        if repair_seams and out.start > 0:
+            tokens, _ = _extend_across_seam(
+                chunk, merged, tokens, out.start, params)
+        merged.extend(tokens)
+    if token_output_length(merged) != len(chunk):
+        raise CompressionError("seam repair corrupted the stream length")
+    return merged
+
+
+def refine_to_container(chunk: bytes, outputs: Sequence[SegmentOutput],
+                        params: LzParams = DEFAULT_PARAMS,
+                        repair_seams: bool = True) -> bytes:
+    """Full post-processing: merge, repair seams, pack into the container."""
+    tokens = merge_segments(chunk, outputs, params, repair_seams)
+    return tokens_to_bytes(tokens, len(chunk), params)

@@ -1,0 +1,143 @@
+"""QuickLZ-class fast LZ codec — the paper's CPU compression baseline.
+
+Faithful to the *structure* of QuickLZ level 1 rather than its exact bit
+layout: a single-entry hash table over 3-byte sequences (no chains —
+that's what makes it fast and what costs it ratio against LZSS), greedy
+emission, byte-oriented output.
+
+Container format (big-endian)::
+
+    [u32 original_length][stream]
+
+Stream: groups of up to 8 tokens share a flags byte (bit=1 match).
+Literal: 1 raw byte.  Match: 3 bytes ``llllllll oooooooo oooooooo`` —
+length-3 (match lengths 3..258) and a 16-bit backward offset (1-based),
+so matches may reference anywhere in the chunk, unlike the 4 KiB LZSS
+window.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CompressionError, CorruptStreamError
+
+_MIN_MATCH = 3
+_MAX_MATCH = 258
+_MAX_OFFSET = 0xFFFF
+_HASH_BITS = 13
+
+
+def _hash3(a: int, b: int, c: int) -> int:
+    """QuickLZ-style multiplicative hash of a 3-byte group."""
+    value = (a << 16) | (b << 8) | c
+    return ((value * 2654435761) >> (32 - _HASH_BITS)) & ((1 << _HASH_BITS) - 1)
+
+
+class QuickLzCodec:
+    """Fast greedy LZ with a single-entry hash table."""
+
+    def encode(self, data: bytes) -> bytes:
+        """Compress ``data``; always produces a decodable container."""
+        n = len(data)
+        out = bytearray(struct.pack(">I", n))
+        table: list[int] = [-1] * (1 << _HASH_BITS)
+
+        flags = 0
+        flag_bit = 0
+        flag_pos = len(out)
+        out.append(0)  # placeholder for the first flags byte
+        pos = 0
+
+        def close_group() -> None:
+            nonlocal flags, flag_bit, flag_pos
+            out[flag_pos] = flags
+            flags = 0
+            flag_bit = 0
+            flag_pos = len(out)
+            out.append(0)
+
+        while pos < n:
+            if flag_bit == 8:
+                close_group()
+            match_len = 0
+            match_off = 0
+            if pos + _MIN_MATCH <= n:
+                key = _hash3(data[pos], data[pos + 1], data[pos + 2])
+                candidate = table[key]
+                table[key] = pos
+                if candidate >= 0 and pos - candidate <= _MAX_OFFSET:
+                    limit = min(n - pos, _MAX_MATCH)
+                    length = 0
+                    while (length < limit
+                           and data[candidate + length] == data[pos + length]):
+                        length += 1
+                    if length >= _MIN_MATCH:
+                        match_len = length
+                        match_off = pos - candidate
+            if match_len:
+                flags |= 1 << flag_bit
+                out.append(match_len - _MIN_MATCH)
+                out.append((match_off - 1) >> 8)
+                out.append((match_off - 1) & 0xFF)
+                # Seed the table sparsely inside the match (QuickLZ skips
+                # ahead; sampling keeps encode fast at a small ratio cost).
+                for inside in range(pos + 1, pos + match_len, 4):
+                    if inside + _MIN_MATCH <= n:
+                        table[_hash3(data[inside], data[inside + 1],
+                                     data[inside + 2])] = inside
+                pos += match_len
+            else:
+                out.append(data[pos])
+                pos += 1
+            flag_bit += 1
+
+        # Trim a trailing empty flags byte left by an exact group boundary.
+        if flag_bit == 0 and flag_pos == len(out) - 1:
+            del out[flag_pos]
+        else:
+            out[flag_pos] = flags
+        return bytes(out)
+
+    def decode(self, blob: bytes) -> bytes:
+        """Decompress a container produced by :meth:`encode`."""
+        if len(blob) < 4:
+            raise CorruptStreamError("container shorter than its header")
+        (original_length,) = struct.unpack(">I", blob[:4])
+        out = bytearray()
+        pos = 4
+        while len(out) < original_length:
+            if pos >= len(blob):
+                raise CorruptStreamError("container truncated mid-stream")
+            flags = blob[pos]
+            pos += 1
+            for bit in range(8):
+                if len(out) >= original_length:
+                    break
+                if flags & (1 << bit):
+                    if pos + 3 > len(blob):
+                        raise CorruptStreamError(
+                            "container truncated in a match")
+                    length = blob[pos] + _MIN_MATCH
+                    offset = ((blob[pos + 1] << 8) | blob[pos + 2]) + 1
+                    pos += 3
+                    if offset > len(out):
+                        raise CorruptStreamError(
+                            f"match offset {offset} exceeds produced "
+                            f"output {len(out)}")
+                    start = len(out) - offset
+                    for i in range(length):
+                        out.append(out[start + i])
+                else:
+                    out.append(blob[pos])
+                    pos += 1
+        if len(out) != original_length:
+            raise CompressionError(
+                f"decoded {len(out)} bytes, expected {original_length}")
+        return bytes(out)
+
+    def ratio(self, data: bytes) -> float:
+        """Achieved compression ratio (original/compressed) on ``data``."""
+        if not data:
+            return 1.0
+        return len(data) / len(self.encode(data))

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: integrated inline data reduction.
+
+:class:`~repro.core.pipeline.ReductionPipeline` implements the Fig. 1
+workflow — chunk, hash, GPU-then-CPU bin indexing, compression on the
+processor the :class:`~repro.core.modes.IntegrationMode` assigns, bin
+buffering, sequential destaging, and GPU-bin maintenance — all timed on
+the CPU/GPU/SSD substrates.
+
+:mod:`~repro.core.calibration` implements the paper's closing idea: run a
+short dummy-I/O pass through every integration mode on the actual
+platform and commit to the fastest ("we can ensure the best performance
+even if the target platform is different").
+"""
+
+from repro.core.calibration import CalibrationResult, calibrate_mode
+from repro.core.config import PipelineConfig
+from repro.core.modes import IntegrationMode
+from repro.core.pipeline import ReductionPipeline
+from repro.core.stats import PipelineReport
+
+__all__ = [
+    "CalibrationResult",
+    "calibrate_mode",
+    "PipelineConfig",
+    "IntegrationMode",
+    "ReductionPipeline",
+    "PipelineReport",
+]

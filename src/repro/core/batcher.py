@@ -1,0 +1,110 @@
+"""Generic GPU work batcher.
+
+Workers submit items and block on a per-item event; a dispatcher process
+accumulates items into batches (up to ``batch_size``, waiting at most
+``max_wait_s`` past the first item), runs one kernel launch per batch
+through the device's command queue, and fans the per-item results back
+out.
+
+This is the machinery behind both GPU paths: index-lookup batches (small,
+latency-sensitive) and compression batches (large, occupancy-hungry).
+The paper's launch-overhead argument lives here — with tiny batches, the
+fixed launch cost dominates every item's latency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+from repro.errors import ConfigError
+from repro.gpu.device import GpuDevice
+from repro.gpu.kernel import Kernel
+from repro.sim import Environment, Event, Store
+
+
+class GpuBatcher:
+    """Batches submitted items into kernel launches.
+
+    ``make_kernel(items)`` builds the launch; ``split_results(items,
+    result)`` must return one result per item, in order.
+    """
+
+    def __init__(self, env: Environment, gpu: GpuDevice,
+                 make_kernel: Callable[[list[Any]], Kernel],
+                 split_results: Callable[[list[Any], Any], Sequence[Any]],
+                 batch_size: int, max_wait_s: float,
+                 name: str = "batcher", priority: int = 0):
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        if max_wait_s < 0:
+            raise ConfigError(f"negative max_wait_s {max_wait_s}")
+        self.env = env
+        self.gpu = gpu
+        self.make_kernel = make_kernel
+        self.split_results = split_results
+        self.batch_size = batch_size
+        self.max_wait_s = max_wait_s
+        self.name = name
+        #: Launch priority on a priority-scheduled device queue.
+        self.priority = priority
+        self._inbox: Store = Store(env, name=f"{name}-inbox")
+        self._running = True
+        self.batches_launched = 0
+        self.items_processed = 0
+        env.process(self._dispatch_loop())
+
+    def submit(self, item: Any) -> Event:
+        """Offer one item; the returned event fires with its result."""
+        done = self.env.event()
+        self._inbox.put((item, done))
+        return done
+
+    def stop(self) -> None:
+        """Ask the dispatcher to exit once the inbox drains."""
+        self._running = False
+        # A sentinel wakes the dispatcher if it is idle.
+        self._inbox.put(None)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            first = yield self._inbox.get()
+            if first is None:
+                if not self._running and self._inbox.level == 0:
+                    return
+                continue
+            batch = [first]
+            deadline = self.env.now + self.max_wait_s
+            while len(batch) < self.batch_size:
+                remaining = deadline - self.env.now
+                if remaining <= 0:
+                    break
+                get = self._inbox.get()
+                timeout = self.env.timeout(remaining)
+                yield self.env.any_of([get, timeout])
+                if get.triggered:
+                    if get.value is None:
+                        continue  # stop sentinel; drain what we have
+                    batch.append(get.value)
+                else:
+                    get.cancel()
+                    break
+            yield from self._launch(batch)
+            if not self._running and self._inbox.level == 0:
+                return
+
+    def _launch(self, batch: list[tuple[Any, Event]]) -> Generator:
+        items = [item for item, _done in batch]
+        kernel = self.make_kernel(items)
+        raw = yield from self.gpu.launch(kernel,
+                                         priority=self.priority)
+        results = self.split_results(items, raw)
+        if len(results) != len(items):
+            raise ConfigError(
+                f"{self.name}: split_results returned {len(results)} "
+                f"results for {len(items)} items")
+        self.batches_launched += 1
+        self.items_processed += len(items)
+        for (_item, done), result in zip(batch, results):
+            done.succeed(result)

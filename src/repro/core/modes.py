@@ -1,0 +1,39 @@
+"""Integration modes: how the two reduction operations share the GPU.
+
+Section 4(3) of the paper enumerates exactly these options and Fig. 2
+compares their throughput; GPU-for-compression wins on the testbed, but
+the paper is explicit that the right choice is platform-dependent, which
+is what :mod:`~repro.core.calibration` is for.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IntegrationMode(enum.Enum):
+    """Which reduction operations may use the GPU."""
+
+    #: Both deduplication indexing and compression use the GPU.
+    GPU_BOTH = "gpu_both"
+    #: Only deduplication indexing may be offloaded.
+    GPU_DEDUP = "gpu_dedup"
+    #: Only compression runs on the GPU (the paper's winner).
+    GPU_COMP = "gpu_comp"
+    #: The GPU is not used at all.
+    CPU_ONLY = "cpu_only"
+
+    @property
+    def gpu_for_dedup(self) -> bool:
+        """True when index lookups may be offloaded."""
+        return self in (IntegrationMode.GPU_BOTH, IntegrationMode.GPU_DEDUP)
+
+    @property
+    def gpu_for_compression(self) -> bool:
+        """True when compression runs on the GPU."""
+        return self in (IntegrationMode.GPU_BOTH, IntegrationMode.GPU_COMP)
+
+    @classmethod
+    def all_modes(cls) -> list["IntegrationMode"]:
+        """The four options, in the paper's Fig. 2 order."""
+        return [cls.GPU_BOTH, cls.GPU_DEDUP, cls.GPU_COMP, cls.CPU_ONLY]

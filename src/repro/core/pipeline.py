@@ -1,0 +1,368 @@
+"""The integrated inline data-reduction pipeline (paper Fig. 1).
+
+One :class:`ReductionPipeline` run drives a chunk stream through the
+paper's workflow on the timed substrates:
+
+1. **chunk + hash** on a CPU hardware thread;
+2. **GPU indexing** first, when the mode allows it, the GPU exists, and
+   the CPU is saturated (the paper's §3.1(3) rule) — batched lookups
+   through the device's in-order queue;
+3. **CPU indexing** for chunks the GPU did not resolve: bin-buffer probe,
+   then bin-tree probe (the probe is skipped when an eviction-free GPU
+   index already proved the fingerprint absent);
+4. duplicates are mapped onto their stored copy; uniques continue to
+5. **compression**, on the CPU (chunk-per-thread QuickLZ-class) or on the
+   GPU (segment-parallel LZ batches + CPU post-processing refinement);
+6. **commit**: metadata insert + bin-buffer staging; a full bin flushes —
+   entries move to the bin tree and the GPU bins, and the bin's
+   compressed payload destages to the SSD as one sequential write.
+
+Concurrency: admission of chunks into the pipeline is gated by a window
+of in-flight slots (the inline path's bounded outstanding I/O).  That
+window is load-bearing for the paper's Fig. 2: in ``GPU_BOTH`` mode,
+index lookups queue behind multi-millisecond compression batches, chunk
+latency inflates, the window throttles admission, and throughput drops
+below ``GPU_COMP`` — exactly the contention the paper reports.
+
+The destage path is asynchronous and does not backpressure the reduction
+path; the paper's throughput numbers are reduction-operation throughput
+measured against the SSD as a *yardstick*, not an end-to-end
+destage-limited figure (its dedup result is 3x the SSD's own rate, which
+is only possible on those terms).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional
+
+from repro.core.batcher import GpuBatcher
+from repro.core.config import PipelineConfig
+from repro.core.scheduler import OffloadScheduler
+from repro.core.stats import PipelineReport
+from repro.compression.gpu_lz import GpuCompressor
+from repro.compression.parallel_cpu import CpuCompressor
+from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
+from repro.cpu.model import SimCpu
+from repro.dedup.engine import DedupEngine
+from repro.dedup.gpu_index import GpuBinIndex
+from repro.dedup.hashing import fingerprint_chunk
+from repro.dedup.replacement import RandomReplacement
+from repro.errors import ConfigError
+from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
+from repro.gpu.device import GpuDevice
+from repro.sim import Environment, Resource
+from repro.sim.histogram import LatencyHistogram
+from repro.storage.block import BlockRequest, RequestKind
+from repro.storage.ssd import SsdModel
+from repro.types import Chunk
+
+
+class ReductionPipeline:
+    """Timed, integrated dedup + compression over simulated hardware."""
+
+    def __init__(self, env: Environment, config: PipelineConfig,
+                 cpu: Optional[SimCpu] = None,
+                 gpu: Optional[GpuDevice] = None,
+                 ssd: Optional[SsdModel] = None,
+                 cpu_costs: CpuCosts = DEFAULT_COSTS,
+                 gpu_costs: GpuKernelCosts = DEFAULT_GPU_COSTS):
+        self.env = env
+        self.config = config
+        self.costs = cpu_costs
+        self.cpu = cpu if cpu is not None else SimCpu(env)
+        self.ssd = ssd if ssd is not None else SsdModel(env)
+        needs_gpu = (config.mode.gpu_for_dedup
+                     or config.mode.gpu_for_compression)
+        if needs_gpu and gpu is None:
+            gpu = GpuDevice(env,
+                            priority_queue=config.gpu_queue_priority)
+        self.gpu = gpu
+
+        gpu_index = None
+        if config.mode.gpu_for_dedup and config.enable_dedup:
+            gpu_index = GpuBinIndex(
+                prefix_bytes=config.prefix_bytes,
+                bin_capacity=config.gpu_bin_capacity,
+                policy=RandomReplacement(seed=7),
+                memory=self.gpu.memory if self.gpu else None,
+                costs=gpu_costs)
+        self.dedup = DedupEngine(
+            prefix_bytes=config.prefix_bytes,
+            btree_min_degree=config.btree_min_degree,
+            bin_buffer_capacity=config.bin_buffer_capacity,
+            bin_buffer_total=config.bin_buffer_total,
+            gpu_index=gpu_index,
+            costs=cpu_costs) if config.enable_dedup else None
+
+        self.cpu_comp = CpuCompressor(costs=cpu_costs)
+        self.gpu_comp = GpuCompressor(
+            segments_per_chunk=config.gpu_segments_per_chunk,
+            cpu_costs=cpu_costs, gpu_costs=gpu_costs)
+
+        self.scheduler = OffloadScheduler(
+            self.cpu, policy=config.gpu_index_policy,
+            saturation_threshold=config.cpu_saturation_threshold,
+            gpu_available=self.gpu is not None)
+        self._index_batcher: Optional[GpuBatcher] = None
+        self._comp_batcher: Optional[GpuBatcher] = None
+        #: One big lock serializing index work in the "global" baseline.
+        self._index_lock = (Resource(env, capacity=1, name="index-lock")
+                            if config.index_locking == "global" else None)
+        self._window = Resource(env, capacity=config.window, name="window")
+        #: In-flight fingerprint table: fingerprints currently being
+        #: processed as uniques, mapping to the event their commit fires.
+        #: A concurrent chunk with the same fingerprint waits for that
+        #: commit and then dedups against it, instead of wastefully
+        #: compressing the same content twice (standard inline-dedup
+        #: in-flight tracking).
+        self._pending: dict[bytes, object] = {}
+        self._done = 0
+        self._total = 0
+        self._finished = env.event()
+        self._destage_procs = 0
+        # -- statistics --
+        self.bytes_in = 0
+        self.destage_batches = 0
+        self.destage_bytes = 0
+        self.gpu_offload_skips = 0
+        self.latency = LatencyHistogram()
+
+    # -- batcher wiring -----------------------------------------------------
+
+    def _ensure_batchers(self) -> None:
+        cfg = self.config
+        if (cfg.mode.gpu_for_dedup and cfg.enable_dedup
+                and self._index_batcher is None):
+            index = self.dedup.gpu_index
+            tiled = cfg.gpu_index_tiled
+            self._index_batcher = GpuBatcher(
+                self.env, self.gpu,
+                make_kernel=lambda fps: index.make_kernel(fps,
+                                                          tiled=tiled),
+                split_results=lambda fps, slots: index.record_results(
+                    fps, slots),
+                batch_size=cfg.gpu_index_batch,
+                max_wait_s=cfg.gpu_batch_wait_s,
+                name="gpu-index", priority=0)
+        if (cfg.mode.gpu_for_compression and cfg.enable_compression
+                and self._comp_batcher is None):
+            self._comp_batcher = GpuBatcher(
+                self.env, self.gpu,
+                make_kernel=self.gpu_comp.make_kernel,
+                split_results=self.gpu_comp.split_results,
+                batch_size=cfg.gpu_comp_batch,
+                max_wait_s=cfg.gpu_batch_wait_s,
+                name="gpu-comp", priority=1)
+
+    # -- the per-chunk workflow (Fig. 1) ------------------------------------
+
+    def _should_offload_index(self) -> bool:
+        """Delegate the placement decision to the offload scheduler."""
+        if self._index_batcher is None:
+            return False
+        decision = self.scheduler.should_offload_index()
+        if not decision:
+            self.gpu_offload_skips = \
+                self.scheduler.stats.skipped_idle_cpu
+        return decision
+
+    def _index_execute(self, cycles: float) -> Generator:
+        """Charge CPU cycles for index work, honouring the lock baseline.
+
+        The paper's bins need no lock ("without locking mechanism"); the
+        conventional shared-table baseline serializes here.
+        """
+        if self._index_lock is None:
+            yield from self.cpu.execute(cycles)
+            return
+        with self._index_lock.request() as lock:
+            yield lock
+            yield from self.cpu.execute(cycles)
+
+    def _chunk_worker(self, chunk: Chunk, slot) -> Generator:
+        admitted = self.env.now
+        try:
+            yield from self._process_chunk(chunk)
+        finally:
+            self.latency.record(self.env.now - admitted)
+            self._window.release(slot)
+            self._done += 1
+            if self._done == self._total:
+                self._finished.succeed()
+
+    def _process_chunk(self, chunk: Chunk) -> Generator:
+        cfg = self.config
+        costs = self.costs
+        if cfg.enable_dedup:
+            fingerprint_chunk(chunk)
+            yield from self.cpu.execute(
+                self.dedup.ingest_cycles(chunk, cfg.content_defined)
+                + costs.handoff_per_chunk)
+
+            gpu_definitive = False
+            if self._should_offload_index():
+                hit = yield self._index_batcher.submit(chunk.fingerprint)
+                if hit:
+                    cycles = self.dedup.note_gpu_hit(chunk)
+                    yield from self.cpu.execute(cycles)
+                    return
+                # An eviction-free GPU index mirrors every flushed entry,
+                # so its miss proves the fingerprint is not in the tree.
+                gpu_definitive = self.dedup.gpu_index.evictions == 0
+
+            outcome = self.dedup.cpu_index_partial(chunk) if gpu_definitive \
+                else self.dedup.cpu_index(chunk)
+            yield from self._index_execute(outcome.cpu_cycles)
+            if outcome.duplicate:
+                cycles = self.dedup.commit_duplicate(chunk)
+                yield from self.cpu.execute(cycles)
+                return
+            # In-flight check: another worker may be compressing this very
+            # content right now.  Wait for its commit, then dedup onto it.
+            pending = self._pending.get(chunk.fingerprint)
+            if pending is not None:
+                yield pending
+                self.dedup.counters["pending_hits"] = \
+                    self.dedup.counters.get("pending_hits", 0) + 1
+                chunk.is_duplicate = True
+                cycles = self.dedup.commit_duplicate(chunk)
+                yield from self.cpu.execute(cycles)
+                return
+            # Our index probe ran earlier in simulated time; a twin may
+            # have committed since.  Its fingerprint would be in the bin
+            # buffer *now*, so re-probe before claiming uniqueness.
+            if self.dedup.bin_buffer.lookup(chunk.fingerprint) is not None:
+                self.dedup.counters["buffer_hits"] += 1
+                chunk.is_duplicate = True
+                cycles = self.costs.bin_buffer_probe \
+                    + self.dedup.commit_duplicate(chunk)
+                yield from self._index_execute(cycles)
+                return
+            self._pending[chunk.fingerprint] = self.env.event()
+        else:
+            yield from self.cpu.execute(
+                costs.chunking_cycles(chunk.size, cfg.content_defined)
+                + costs.handoff_per_chunk)
+
+        # -- unique chunk: compression stage --
+        blob: Optional[bytes] = None
+        if cfg.enable_compression:
+            if self._comp_batcher is not None:
+                raw = yield self._comp_batcher.submit(chunk)
+                result = self.gpu_comp.postprocess(chunk, raw)
+            else:
+                result = self.cpu_comp.compress(chunk)
+            yield from self.cpu.execute(
+                result.cpu_cycles + costs.handoff_per_chunk)
+            blob = result.blob
+        else:
+            chunk.compressed_size = chunk.size
+
+        # -- commit --
+        if cfg.enable_dedup:
+            cycles, batch, _unique = self.dedup.commit_unique(chunk, blob)
+            pending = self._pending.pop(chunk.fingerprint, None)
+            if pending is not None:
+                pending.succeed()
+            yield from self._index_execute(cycles)
+            if batch is not None and cfg.destage_enabled:
+                self._spawn_destage(batch.payload_bytes, sequential=True)
+                self.destage_batches += 1
+                self.destage_bytes += batch.payload_bytes
+        else:
+            yield from self.cpu.execute(
+                costs.metadata_update + costs.destage_submit)
+            if cfg.destage_enabled:
+                self._spawn_destage(chunk.compressed_size, sequential=False)
+                self.destage_batches += 1
+                self.destage_bytes += chunk.compressed_size
+
+    def _spawn_destage(self, nbytes: int, sequential: bool) -> None:
+        if nbytes <= 0:
+            return
+
+        def destage() -> Generator:
+            yield from self.ssd.submit(BlockRequest(
+                RequestKind.WRITE, 0, nbytes, sequential=sequential))
+
+        self.env.process(destage())
+
+    # -- run ----------------------------------------------------------------
+
+    def _feeder(self, chunks: Iterable[Chunk]) -> Generator:
+        rate = self.config.arrival_rate_iops
+        gap = 1.0 / rate if rate else 0.0
+        next_admission = 0.0
+        for chunk in chunks:
+            if gap:
+                delay = next_admission - self.env.now
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                next_admission = max(next_admission, self.env.now) + gap
+            request = self._window.request()
+            yield request
+            self.bytes_in += chunk.size
+            self.env.process(self._chunk_worker(chunk, request))
+
+    def run(self, chunks: Iterable[Chunk], total: int) -> PipelineReport:
+        """Process ``total`` chunks from ``chunks`` and report.
+
+        ``total`` must match the iterable's length; it lets the pipeline
+        detect completion without materializing the stream.
+        """
+        if total <= 0:
+            raise ConfigError("need at least one chunk")
+        self._total = total
+        self._ensure_batchers()
+        self.env.process(self._feeder(chunks))
+        self.env.run(until=self._finished)
+        duration = self.env.now
+        # Snapshot the Fig. 1 counters before the shutdown drain so the
+        # report reflects steady-state traffic only.
+        counters = dict(self.dedup.counters) if self.dedup else {}
+        for batcher in (self._index_batcher, self._comp_batcher):
+            if batcher is not None:
+                batcher.stop()
+        # Shutdown drain: partially filled bins still hold staged data;
+        # it must reach the SSD for the endurance ledger to balance.
+        if self.dedup is not None and self.config.destage_enabled:
+            for batch in self.dedup.drain():
+                self._spawn_destage(batch.payload_bytes, sequential=True)
+                self.destage_batches += 1
+                self.destage_bytes += batch.payload_bytes
+        # Let stragglers (destage writes, batcher shutdown) settle for
+        # reporting, without extending the measured duration.
+        self.env.run()
+        return self._report(duration, counters)
+
+    def _report(self, duration: float,
+                counters: dict[str, int]) -> PipelineReport:
+        metadata = self.dedup.metadata if self.dedup else None
+        comp = (self.gpu_comp if self._comp_batcher is not None
+                else self.cpu_comp)
+        dedup_ratio = metadata.dedup_ratio() if metadata else 1.0
+        reduction = metadata.reduction_ratio() if metadata else \
+            comp.achieved_ratio()
+        return PipelineReport(
+            chunks=self._total,
+            bytes_in=self.bytes_in,
+            duration_s=duration,
+            counters=counters,
+            cpu_utilization=self.cpu.utilization(until=duration),
+            gpu_utilization=(self.gpu.utilization(until=duration)
+                             if self.gpu else 0.0),
+            ssd_utilization=self.ssd.utilization(until=duration),
+            gpu_kernels=self.gpu.kernels_launched if self.gpu else 0,
+            gpu_mean_queue_wait_s=(self.gpu.mean_queue_wait()
+                                   if self.gpu else 0.0),
+            dedup_ratio=dedup_ratio,
+            comp_ratio=comp.achieved_ratio(),
+            reduction_ratio=reduction,
+            destage_batches=self.destage_batches,
+            destage_bytes=self.destage_bytes,
+            nand_bytes_written=self.ssd.nand_bytes_written,
+            mean_latency_s=self.latency.mean,
+            peak_latency_s=self.latency.peak,
+            latency_percentiles=self.latency.summary(),
+            mode=self.config.mode.value,
+        )

@@ -1,0 +1,13 @@
+"""Multi-core CPU substrate.
+
+The paper's testbed CPU is an Intel i7-2600K (4 cores / 8 hardware threads
+@ 3.4 GHz).  :class:`~repro.cpu.model.SimCpu` models that chip as a counted
+resource of hardware threads on the discrete-event engine, and
+:mod:`~repro.cpu.costs` holds the cycles-per-byte cost table every timed
+CPU-side operation charges against.
+"""
+
+from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
+from repro.cpu.model import CpuSpec, SimCpu, I7_2600K
+
+__all__ = ["CpuCosts", "DEFAULT_COSTS", "CpuSpec", "SimCpu", "I7_2600K"]

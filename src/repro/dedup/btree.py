@@ -1,0 +1,174 @@
+"""In-memory B-tree: the structure behind each CPU bin ("bin tree").
+
+The paper contrasts the GPU's *linear table* bins with the CPU's tree
+bins (§3.1(2): "we organize one bin into a linear table structure rather
+than a tree structure") — so the CPU side gets a real B-tree, not a dict.
+The tree's height also feeds the CPU cost model: a probe charges
+``bin_tree_probe_per_level`` per level walked.
+
+Classic CLRS B-tree with minimum degree ``t``: every node holds between
+``t-1`` and ``2t-1`` keys (root exempt below), split-on-the-way-down
+insertion, no deletion (dedup indexes only grow during a run; whole bins
+are dropped at once).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import IndexError_
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children", "leaf")
+
+    def __init__(self, leaf: bool):
+        self.keys: list[bytes] = []
+        self.values: list[Any] = []
+        self.children: list["_Node"] = []
+        self.leaf = leaf
+
+
+class BTree:
+    """B-tree mapping byte-string keys to arbitrary values."""
+
+    def __init__(self, min_degree: int = 16):
+        if min_degree < 2:
+            raise IndexError_(f"min degree must be >= 2, got {min_degree}")
+        self._t = min_degree
+        self._root = _Node(leaf=True)
+        self._size = 0
+        self._height = 1
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        """Number of levels a search walks (1 for a lone root)."""
+        return self._height
+
+    # -- search -----------------------------------------------------------
+
+    def search(self, key: bytes) -> Optional[Any]:
+        """Value stored under ``key``, or None."""
+        node = self._root
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                return node.values[i]
+            if node.leaf:
+                return None
+            node = node.children[i]
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None
+
+    @staticmethod
+    def _lower_bound(keys: list[bytes], key: bytes) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- insertion ---------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> bool:
+        """Insert ``key``; returns False (and updates the value) if present."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            self._height += 1
+        return self._insert_nonfull(self._root, key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        # Median key moves up; upper half moves to the new sibling.
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[:t - 1]
+        child.values = child.values[:t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+
+    def _insert_nonfull(self, node: _Node, key: bytes, value: Any) -> bool:
+        while True:
+            i = self._lower_bound(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                return False
+            if node.leaf:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self._size += 1
+                return True
+            if len(node.children[i].keys) == 2 * self._t - 1:
+                self._split_child(node, i)
+                if node.keys[i] == key:
+                    node.values[i] = value
+                    return False
+                if key > node.keys[i]:
+                    i += 1
+            node = node.children[i]
+
+    # -- iteration ----------------------------------------------------------
+
+    def items(self) -> Iterator[tuple[bytes, Any]]:
+        """All (key, value) pairs in ascending key order."""
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[tuple[bytes, Any]]:
+        if node.leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for i, key in enumerate(node.keys):
+            yield from self._walk(node.children[i])
+            yield key, node.values[i]
+        yield from self._walk(node.children[-1])
+
+    # -- diagnostics --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify B-tree structural invariants (test hook)."""
+        self._check_node(self._root, is_root=True, depth=0,
+                         leaf_depths=set())
+
+    def _check_node(self, node: _Node, is_root: bool, depth: int,
+                    leaf_depths: set[int]) -> None:
+        t = self._t
+        if not is_root and len(node.keys) < t - 1:
+            raise IndexError_(f"underfull node at depth {depth}")
+        if len(node.keys) > 2 * t - 1:
+            raise IndexError_(f"overfull node at depth {depth}")
+        if node.keys != sorted(node.keys):
+            raise IndexError_(f"unsorted keys at depth {depth}")
+        if len(node.keys) != len(node.values):
+            raise IndexError_(f"key/value mismatch at depth {depth}")
+        if node.leaf:
+            leaf_depths.add(depth)
+            if len(leaf_depths) > 1:
+                raise IndexError_("leaves at differing depths")
+            return
+        if len(node.children) != len(node.keys) + 1:
+            raise IndexError_(f"child-count mismatch at depth {depth}")
+        for i, child in enumerate(node.children):
+            if i > 0 and child.keys and child.keys[0] <= node.keys[i - 1]:
+                raise IndexError_("separator order violated (left)")
+            if i < len(node.keys) and child.keys \
+                    and child.keys[-1] >= node.keys[i]:
+                raise IndexError_("separator order violated (right)")
+            self._check_node(child, is_root=False, depth=depth + 1,
+                             leaf_depths=leaf_depths)

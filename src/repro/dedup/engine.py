@@ -1,0 +1,231 @@
+"""Deduplication engine: functional state machine plus cost accounting.
+
+This class owns the dedup data structures (bin buffer, bin trees,
+optional GPU bins, chunk metadata) and exposes the *operations* of the
+paper's Fig. 1 workflow.  Every operation returns both its functional
+outcome and the CPU cycles it costs, so the timed pipeline can charge the
+simulated CPU without this module knowing anything about simulation.
+
+Lookup order on the CPU path follows the paper exactly: bin buffer first
+("recently updated chunks can reside in the bin buffer and chunks are
+more likely to find duplicates in the bin buffer due to temporal
+locality"), then the bin tree.  Unique chunks are staged in the bin
+buffer; a full bin flushes as one unit — entries move to the bin tree and
+the GPU bins, and the bin's compressed data destages as one sequential
+write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
+from repro.dedup.bin_buffer import BinBuffer
+from repro.dedup.bins import BinTable
+from repro.dedup.gpu_index import GpuBinIndex
+from repro.errors import DedupError
+from repro.storage.metadata import MetadataStore
+from repro.types import Chunk
+
+
+@dataclass
+class IndexOutcome:
+    """Result of running a chunk through the CPU indexing path."""
+
+    duplicate: bool
+    #: Where the decision fell: "buffer", "tree", or "unique".
+    path: str
+    cpu_cycles: float
+
+
+@dataclass
+class DestageBatch:
+    """One flushed bin's worth of compressed data, written sequentially."""
+
+    bin_id: int
+    chunk_count: int
+    payload_bytes: int
+
+
+@dataclass
+class _StagedInfo:
+    """Bin-buffer value: what a flush needs to know per staged chunk."""
+
+    size: int
+    compressed_size: int
+
+
+class DedupEngine:
+    """Functional dedup state with per-operation cycle costs."""
+
+    def __init__(self, prefix_bytes: int = 2, btree_min_degree: int = 16,
+                 bin_buffer_capacity: int = 64,
+                 bin_buffer_total: Optional[int] = None,
+                 gpu_index: Optional[GpuBinIndex] = None,
+                 metadata: Optional[MetadataStore] = None,
+                 costs: CpuCosts = DEFAULT_COSTS):
+        self.costs = costs
+        self.bin_table = BinTable(prefix_bytes=prefix_bytes,
+                                  min_degree=btree_min_degree)
+        self.bin_buffer = BinBuffer(prefix_bytes=prefix_bytes,
+                                    per_bin_capacity=bin_buffer_capacity,
+                                    total_capacity=bin_buffer_total)
+        self.gpu_index = gpu_index
+        self.metadata = metadata if metadata is not None else MetadataStore()
+        # -- Fig. 1 edge counters --
+        self.counters = {
+            "gpu_hits": 0,
+            "buffer_hits": 0,
+            "tree_hits": 0,
+            "uniques": 0,
+            "race_duplicates": 0,
+            "flushes": 0,
+        }
+
+    # -- stage costs --------------------------------------------------------
+
+    def ingest_cycles(self, chunk: Chunk,
+                      content_defined: bool = False) -> float:
+        """CPU cycles for the chunking + hashing stages of one chunk."""
+        return (self.costs.chunking_cycles(chunk.size, content_defined)
+                + self.costs.sha1_cycles(chunk.size))
+
+    # -- indexing (CPU path) ----------------------------------------------------
+
+    def cpu_index(self, chunk: Chunk) -> IndexOutcome:
+        """Bin-buffer probe, then bin-tree probe (Fig. 1's CPU path)."""
+        fingerprint = chunk.require_fingerprint()
+        cycles = self.costs.bin_buffer_probe
+        if self.bin_buffer.lookup(fingerprint) is not None:
+            self.counters["buffer_hits"] += 1
+            chunk.is_duplicate = True
+            return IndexOutcome(True, "buffer", cycles)
+        depth = self.bin_table.bin_depth(fingerprint)
+        cycles += self.costs.bin_tree_probe(depth)
+        if self.bin_table.lookup(fingerprint) is not None:
+            self.counters["tree_hits"] += 1
+            chunk.is_duplicate = True
+            return IndexOutcome(True, "tree", cycles)
+        chunk.is_duplicate = False
+        return IndexOutcome(False, "unique", cycles)
+
+    def cpu_index_partial(self, chunk: Chunk) -> IndexOutcome:
+        """Buffer-probe-only indexing, used after a *definitive* GPU miss.
+
+        When the GPU index has never evicted, it mirrors every entry that
+        ever reached the bin tree, so a GPU miss proves the tree would
+        miss too — only the bin buffer (entries newer than the last
+        flush) still needs checking.
+        """
+        fingerprint = chunk.require_fingerprint()
+        cycles = self.costs.bin_buffer_probe
+        if self.bin_buffer.lookup(fingerprint) is not None:
+            self.counters["buffer_hits"] += 1
+            chunk.is_duplicate = True
+            return IndexOutcome(True, "buffer", cycles)
+        chunk.is_duplicate = False
+        return IndexOutcome(False, "unique", cycles)
+
+    def note_gpu_hit(self, chunk: Chunk) -> float:
+        """Record a GPU-index duplicate; returns metadata-update cycles."""
+        self.counters["gpu_hits"] += 1
+        chunk.is_duplicate = True
+        return self.commit_duplicate(chunk)
+
+    # -- commits ------------------------------------------------------------
+
+    def commit_duplicate(self, chunk: Chunk) -> float:
+        """Map a duplicate chunk onto its stored copy; returns cycles."""
+        fingerprint = chunk.require_fingerprint()
+        record = self.metadata.lookup(fingerprint)
+        if record is None:
+            raise DedupError(
+                "duplicate verdict for a fingerprint with no stored chunk")
+        self.metadata.map_logical(chunk.offset, fingerprint, chunk.size)
+        chunk.compressed_size = record.compressed_size
+        return self.costs.metadata_update
+
+    def commit_unique(self, chunk: Chunk,
+                      blob: Optional[bytes] = None,
+                      checksum: Optional[int] = None
+                      ) -> tuple[float, Optional[DestageBatch], bool]:
+        """Store a compressed unique chunk; stage its fingerprint.
+
+        Returns ``(cycles, destage_batch_or_none, was_actually_unique)``.
+        Two in-flight copies of the same content can both take the unique
+        path; the commit revalidates against metadata and downgrades the
+        loser to a duplicate — standard inline-dedup practice.
+        """
+        fingerprint = chunk.require_fingerprint()
+        if self.metadata.lookup(fingerprint) is not None:
+            # Lost the in-flight race: another worker stored it first.
+            self.counters["race_duplicates"] += 1
+            cycles = self.commit_duplicate(chunk)
+            return cycles, None, False
+
+        if chunk.compressed_size is None:
+            chunk.compressed_size = chunk.size
+        self.counters["uniques"] += 1
+        self.metadata.store_unique(fingerprint, chunk.size,
+                                   chunk.compressed_size, blob=blob,
+                                   checksum=checksum)
+        self.metadata.map_logical(chunk.offset, fingerprint, chunk.size)
+        cycles = (self.costs.bin_buffer_insert
+                  + self.costs.metadata_update
+                  + self.costs.flush_amortized_per_unique)
+        flush = self.bin_buffer.add(
+            fingerprint,
+            _StagedInfo(size=chunk.size,
+                        compressed_size=chunk.compressed_size))
+        batch = self._apply_flush(flush) if flush is not None else None
+        return cycles, batch, True
+
+    def _apply_flush(self, flush) -> DestageBatch:
+        """Move a flushed bin into the bin tree and the GPU bins."""
+        self.counters["flushes"] += 1
+        payload = 0
+        for fingerprint, info in flush.entries:
+            self.bin_table.insert(fingerprint, info)
+            payload += info.compressed_size
+        if self.gpu_index is not None:
+            self.gpu_index.update_from_flush(flush.entries)
+        return DestageBatch(bin_id=flush.bin_id,
+                            chunk_count=flush.count,
+                            payload_bytes=payload)
+
+    def drain(self) -> list[DestageBatch]:
+        """Flush every partially filled bin (end of stream)."""
+        return [self._apply_flush(event)
+                for event in self.bin_buffer.flush_all()]
+
+    def restart(self) -> list[DestageBatch]:
+        """Simulate a clean restart: destage staged data, lose the index.
+
+        The paper keeps index entries "in memory space only, not disk
+        space", so after a restart the engine can no longer find any
+        previously stored duplicate — rewritten content is stored again
+        (quantified by experiment A9).  Stored data itself survives:
+        logical offsets still resolve through the metadata.
+
+        Returns the final destage batches of the shutdown drain.
+        """
+        batches = self.drain()
+        self.bin_table = BinTable(
+            prefix_bytes=self.bin_table.prefix_bytes,
+            min_degree=self.bin_table.min_degree)
+        if self.gpu_index is not None:
+            self.gpu_index.clear()
+        self.metadata.detach_fingerprint_index()
+        self.counters["restarts"] = self.counters.get("restarts", 0) + 1
+        return batches
+
+    # -- reporting --------------------------------------------------------
+
+    def dedup_ratio(self) -> float:
+        """Achieved logical/unique ratio from the metadata ledger."""
+        return self.metadata.dedup_ratio()
+
+    def index_entries(self) -> int:
+        """Entries across tree + buffer (GPU mirrors a subset)."""
+        return len(self.bin_table) + len(self.bin_buffer)

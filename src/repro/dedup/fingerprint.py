@@ -1,0 +1,74 @@
+"""Rabin rolling fingerprint for content-defined chunking.
+
+A polynomial rolling hash over a sliding window: appending a byte and
+expelling the oldest costs O(1), which is what lets the content-defined
+chunker scan a stream in one pass.  The chunker declares a boundary
+wherever ``hash % divisor == target``, so identical content produces
+identical chunk boundaries regardless of alignment — the property that
+makes CDC dedup robust against insertions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ChunkingError
+
+#: Default multiplier: an odd constant with good mixing (from PJW/Rabin
+#: implementations); anything odd works, determinism is what matters.
+DEFAULT_BASE = 0x3DF29C4B
+_MASK64 = (1 << 64) - 1
+
+
+class RabinFingerprint:
+    """Rolling hash over a fixed-size window of bytes."""
+
+    def __init__(self, window: int = 48, base: int = DEFAULT_BASE):
+        if window < 1:
+            raise ChunkingError(f"invalid window {window}")
+        if base % 2 == 0:
+            raise ChunkingError("base must be odd for full-period mixing")
+        self.window = window
+        self.base = base
+        #: base**window mod 2**64, used to expel the oldest byte.
+        self._expel = pow(base, window, 1 << 64)
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget all state (start of a new stream)."""
+        self._hash = 0
+        self._buffer: list[int] = []
+        self._pos = 0
+
+    @property
+    def value(self) -> int:
+        """Current 64-bit hash of the window."""
+        return self._hash
+
+    @property
+    def primed(self) -> bool:
+        """True once a full window has been absorbed."""
+        return len(self._buffer) >= self.window
+
+    def roll(self, byte: int) -> int:
+        """Slide the window one byte forward; returns the new hash."""
+        if not 0 <= byte <= 255:
+            raise ChunkingError(f"invalid byte {byte}")
+        self._hash = (self._hash * self.base + byte + 1) & _MASK64
+        if len(self._buffer) < self.window:
+            self._buffer.append(byte)
+        else:
+            oldest = self._buffer[self._pos]
+            self._buffer[self._pos] = byte
+            self._pos = (self._pos + 1) % self.window
+            self._hash = (self._hash
+                          - (oldest + 1) * self._expel) & _MASK64
+        return self._hash
+
+    def hash_window(self, data: bytes) -> int:
+        """Hash of exactly one window worth of bytes (reference path)."""
+        if len(data) != self.window:
+            raise ChunkingError(
+                f"expected {self.window} bytes, got {len(data)}")
+        value = 0
+        for byte in data:
+            value = (value * self.base + byte + 1) & _MASK64
+        return value

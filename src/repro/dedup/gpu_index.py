@@ -1,0 +1,200 @@
+"""GPU-resident bin index (paper §3.1(2)).
+
+The GPU performs bin-based indexing "just like on a CPU", but each bin is
+a *linear table* so the lookup kernel's memory accesses stay coalesced
+and branch-free.  Only the hash values live in device memory; all other
+chunk metadata stays host-side, and the kernel result is the per-query
+"(index number, hit/miss)" pair the paper describes.
+
+Fingerprint storage: the bin id already encodes the ``prefix_bytes``
+prefix (prefix truncation, as on the CPU), and the linear layout packs
+the next 16 suffix bytes into two u64 lanes.  Dropping the final 2 bytes
+of the SHA-1 suffix leaves 128 compared bits — collision odds are far
+below device-error rates, the standard dedup-system trade.
+
+Bins have fixed capacity; when a bin-buffer flush overflows one, the
+pluggable :class:`~repro.dedup.replacement.ReplacementPolicy` picks the
+victims (random by default, per the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.dedup.index_base import check_fingerprint
+from repro.dedup.replacement import RandomReplacement, ReplacementPolicy
+from repro.errors import IndexError_
+from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
+from repro.gpu.kernels.indexing import BinLookupKernel, LookupBatch
+from repro.gpu.memory import DeviceMemory
+
+#: Device bytes per entry: two u64 suffix lanes.
+ENTRY_BYTES = 16
+
+
+@dataclass
+class _GpuBin:
+    lo: np.ndarray
+    hi: np.ndarray
+    count: int
+
+
+class GpuBinIndex:
+    """Capacity-limited linear-bin fingerprint index in device memory."""
+
+    def __init__(self, prefix_bytes: int = 2, bin_capacity: int = 512,
+                 policy: Optional[ReplacementPolicy] = None,
+                 memory: Optional[DeviceMemory] = None,
+                 costs: GpuKernelCosts = DEFAULT_GPU_COSTS):
+        if not 1 <= prefix_bytes <= 4:
+            raise IndexError_(
+                f"prefix_bytes must be in [1, 4], got {prefix_bytes}")
+        if bin_capacity < 1:
+            raise IndexError_(
+                f"bin_capacity must be >= 1, got {bin_capacity}")
+        self.prefix_bytes = prefix_bytes
+        self.bin_capacity = bin_capacity
+        self.policy = policy if policy is not None else RandomReplacement()
+        self.memory = memory
+        self.costs = costs
+        self._bins: dict[int, _GpuBin] = {}
+        self._size = 0
+        # -- statistics --
+        self.evictions = 0
+        self.lookups = 0
+        self.hits = 0
+
+    # -- key handling ----------------------------------------------------------
+
+    def bin_of(self, fingerprint: bytes) -> int:
+        """Bin number from the fingerprint prefix."""
+        fingerprint = check_fingerprint(fingerprint)
+        return int.from_bytes(fingerprint[:self.prefix_bytes], "big")
+
+    def suffix_words(self, fingerprint: bytes) -> tuple[int, int]:
+        """The 16 stored suffix bytes as two u64 words."""
+        suffix = check_fingerprint(fingerprint)[self.prefix_bytes:]
+        padded = (suffix + b"\x00" * 16)[:16]
+        return (int.from_bytes(padded[:8], "big"),
+                int.from_bytes(padded[8:16], "big"))
+
+    # -- mutation -----------------------------------------------------------
+
+    def _bin(self, bin_id: int) -> _GpuBin:
+        entry = self._bins.get(bin_id)
+        if entry is None:
+            if self.memory is not None:
+                self.memory.alloc(self.bin_capacity * ENTRY_BYTES,
+                                  label=f"gpu-bin-{bin_id}")
+            entry = _GpuBin(
+                lo=np.zeros(self.bin_capacity, dtype=np.uint64),
+                hi=np.zeros(self.bin_capacity, dtype=np.uint64),
+                count=0,
+            )
+            self._bins[bin_id] = entry
+        return entry
+
+    def insert(self, fingerprint: bytes) -> int:
+        """Install a fingerprint; returns the slot used."""
+        bin_id = self.bin_of(fingerprint)
+        lo, hi = self.suffix_words(fingerprint)
+        entry = self._bin(bin_id)
+        if entry.count < self.bin_capacity:
+            slot = entry.count
+            entry.count += 1
+            self._size += 1
+        else:
+            slot = self.policy.choose_victim(bin_id, self.bin_capacity)
+            self.evictions += 1
+        entry.lo[slot] = lo
+        entry.hi[slot] = hi
+        self.policy.on_insert(bin_id, slot)
+        return slot
+
+    def update_from_flush(
+            self, entries: Iterable[tuple[bytes, object]]) -> int:
+        """Apply a bin-buffer flush: install every flushed fingerprint."""
+        installed = 0
+        for fingerprint, _value in entries:
+            self.insert(fingerprint)
+            installed += 1
+        return installed
+
+    # -- lookup --------------------------------------------------------------
+
+    def table_view(self) -> dict[int, tuple[np.ndarray, np.ndarray, int]]:
+        """Kernel-facing view of the device-resident bins."""
+        return {bin_id: (b.lo, b.hi, b.count)
+                for bin_id, b in self._bins.items()}
+
+    def make_batch(self, fingerprints: Sequence[bytes]) -> LookupBatch:
+        """Build the query batch one kernel launch will resolve."""
+        queries = []
+        for fingerprint in fingerprints:
+            lo, hi = self.suffix_words(fingerprint)
+            queries.append((self.bin_of(fingerprint), lo, hi))
+        return LookupBatch.from_queries(queries)
+
+    def make_kernel(self, fingerprints: Sequence[bytes],
+                    use_simt: bool = False, tiled: bool = False):
+        """Kernel object ready for :meth:`repro.gpu.device.GpuDevice.launch`.
+
+        ``tiled`` selects the local-memory workgroup-per-bin variant
+        (paper §3.1(2)'s local-memory design), which wins once several
+        queries of a batch share a bin.
+        """
+        if tiled:
+            from repro.gpu.kernels.indexing_tiled import \
+                TiledBinLookupKernel
+            return TiledBinLookupKernel(self.make_batch(fingerprints),
+                                        self.table_view(),
+                                        costs=self.costs,
+                                        use_simt=use_simt)
+        return BinLookupKernel(self.make_batch(fingerprints),
+                               self.table_view(), costs=self.costs,
+                               use_simt=use_simt)
+
+    def lookup_host(self, fingerprints: Sequence[bytes]) -> list[bool]:
+        """Functional lookup without a device (tests, calibration)."""
+        if not fingerprints:
+            return []
+        slots = self.make_kernel(fingerprints).execute()
+        return self.record_results(fingerprints, slots)
+
+    def record_results(self, fingerprints: Sequence[bytes],
+                       slots: np.ndarray) -> list[bool]:
+        """Turn kernel slot output into hit booleans, updating stats."""
+        hits: list[bool] = []
+        for fingerprint, slot in zip(fingerprints, slots):
+            self.lookups += 1
+            hit = int(slot) >= 0
+            if hit:
+                self.hits += 1
+                self.policy.on_hit(self.bin_of(fingerprint), int(slot))
+            hits.append(hit)
+        return hits
+
+    def clear(self) -> None:
+        """Drop every bin (device memory freed, statistics kept)."""
+        if self.memory is not None:
+            for buffer in list(self.memory.live_buffers):
+                if buffer.label.startswith("gpu-bin-"):
+                    buffer.free()
+        self._bins.clear()
+        self._size = 0
+
+    # -- accounting ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def device_bytes(self) -> int:
+        """Device memory the allocated bins occupy."""
+        return len(self._bins) * self.bin_capacity * ENTRY_BYTES
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit."""
+        return self.hits / self.lookups if self.lookups else 0.0

@@ -1,0 +1,40 @@
+"""Hashing stage: SHA-1 fingerprints for chunks.
+
+"There is no data dependency between chunks when the hash value of the
+chunk is calculated" — the stage is embarrassingly parallel, so the timed
+pipeline simply runs one hashing task per chunk on the CPU's thread pool
+(or batches them onto the GPU co-processor via
+:class:`~repro.gpu.kernels.sha1.Sha1Kernel`).
+
+This module holds the *functional* half: computing (payload mode) or
+accepting (descriptor mode) the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import DedupError
+from repro.types import Chunk
+
+
+def fingerprint_chunk(chunk: Chunk) -> bytes:
+    """Set and return the chunk's SHA-1 fingerprint.
+
+    Payload mode hashes the real bytes.  Descriptor mode requires the
+    workload generator to have supplied a synthetic fingerprint already
+    (duplicates share fingerprints, so indexing still behaves for real).
+    """
+    if chunk.payload is not None:
+        chunk.fingerprint = hashlib.sha1(chunk.payload).digest()
+        return chunk.fingerprint
+    if chunk.fingerprint is None:
+        raise DedupError(
+            f"descriptor-mode chunk at offset {chunk.offset} arrived at "
+            "the hashing stage without a synthetic fingerprint")
+    return chunk.fingerprint
+
+
+def fingerprint_batch(chunks: list[Chunk]) -> list[bytes]:
+    """Fingerprint many chunks (the natural unit for GPU offload)."""
+    return [fingerprint_chunk(chunk) for chunk in chunks]

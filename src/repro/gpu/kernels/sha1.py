@@ -1,0 +1,57 @@
+"""Batched SHA-1 fingerprint kernel.
+
+Hashing is the embarrassingly parallel dedup stage ("there is no data
+dependency between chunks"), so a GPU co-processor path for it exists
+even though the default scheduler keeps hashing on the CPU.  One thread
+hashes one chunk; SHA-1's rounds are strictly sequential *within* a
+chunk, which sets the kernel's latency floor.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from repro.errors import KernelError
+from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
+from repro.gpu.kernel import Kernel, KernelCost
+
+#: SHA-1 digest size in bytes.
+DIGEST_BYTES = 20
+
+
+class Sha1Kernel(Kernel):
+    """One launch hashing a batch of chunks, one thread per chunk."""
+
+    name = "sha1"
+
+    def __init__(self, chunks: Sequence[bytes],
+                 costs: GpuKernelCosts = DEFAULT_GPU_COSTS):
+        if not chunks:
+            raise KernelError("empty chunk batch")
+        self.chunks = list(chunks)
+        self.costs = costs
+
+    def execute(self) -> list[bytes]:
+        """Return the SHA-1 digest of every chunk, in order."""
+        return [hashlib.sha1(chunk).digest() for chunk in self.chunks]
+
+    def cost(self) -> KernelCost:
+        total = sum(len(c) for c in self.chunks)
+        longest = max(len(c) for c in self.chunks)
+        c = self.costs
+        return KernelCost(
+            name=self.name,
+            threads=len(self.chunks),
+            lane_cycles_total=(total * c.sha1_lane_cycles_per_byte
+                               + len(self.chunks) * c.sha1_fixed_lane_cycles),
+            critical_path_cycles=longest * c.sha1_critical_cycles_per_byte,
+            bytes_read=float(total),
+            bytes_written=float(len(self.chunks) * DIGEST_BYTES),
+        )
+
+    def bytes_in(self) -> int:
+        return sum(len(c) for c in self.chunks)
+
+    def bytes_out(self) -> int:
+        return len(self.chunks) * DIGEST_BYTES

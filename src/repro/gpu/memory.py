@@ -1,0 +1,106 @@
+"""Device-memory model: a tracking allocator for GPU buffers.
+
+The allocator enforces the device's capacity (the HD 7970 has 3 GiB) and
+keeps usage statistics.  Buffer *contents* live host-side in numpy arrays —
+the simulation runs on one machine — but the ownership discipline mirrors a
+real device: host code must go through an explicit PCIe transfer (timed by
+:class:`~repro.gpu.pcie.PcieLink`) before a kernel may read the data.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GpuMemoryError
+
+
+class DeviceBuffer:
+    """A single allocation in device global memory."""
+
+    def __init__(self, memory: "DeviceMemory", nbytes: int, label: str):
+        self._memory = memory
+        self.nbytes = nbytes
+        self.label = label
+        self.freed = False
+        #: Host-side backing store; set by transfers or kernel writes.
+        self.data: Optional[np.ndarray] = None
+        #: True once host data has been transferred in (or a kernel wrote it).
+        self.valid = False
+
+    def write(self, array: np.ndarray) -> None:
+        """Install host data into the buffer (call after a timed transfer)."""
+        self._check_alive()
+        if array.nbytes > self.nbytes:
+            raise GpuMemoryError(
+                f"{self.label}: writing {array.nbytes} B into a "
+                f"{self.nbytes} B buffer")
+        self.data = array
+        self.valid = True
+
+    def read(self) -> np.ndarray:
+        """Fetch the buffer contents (call after a timed transfer out)."""
+        self._check_alive()
+        if not self.valid or self.data is None:
+            raise GpuMemoryError(f"{self.label}: reading an unwritten buffer")
+        return self.data
+
+    def free(self) -> None:
+        """Release the allocation back to the device."""
+        self._check_alive()
+        self._memory._release(self)
+        self.freed = True
+        self.data = None
+        self.valid = False
+
+    def _check_alive(self) -> None:
+        if self.freed:
+            raise GpuMemoryError(f"{self.label}: use after free")
+
+    def __repr__(self) -> str:
+        state = "freed" if self.freed else ("valid" if self.valid else "raw")
+        return f"<DeviceBuffer {self.label}: {self.nbytes} B, {state}>"
+
+
+class DeviceMemory:
+    """Global-memory allocator with capacity enforcement and statistics."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise GpuMemoryError(f"invalid capacity: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.peak_bytes = 0
+        self.live_buffers: list[DeviceBuffer] = []
+        self.total_allocs = 0
+
+    def alloc(self, nbytes: int, label: str = "buffer") -> DeviceBuffer:
+        """Allocate ``nbytes`` of global memory."""
+        if nbytes <= 0:
+            raise GpuMemoryError(f"{label}: invalid allocation size {nbytes}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise GpuMemoryError(
+                f"{label}: out of device memory "
+                f"({self.used_bytes + nbytes} > {self.capacity_bytes} B)")
+        buffer = DeviceBuffer(self, nbytes, label)
+        self.live_buffers.append(buffer)
+        self.used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+        self.total_allocs += 1
+        return buffer
+
+    def _release(self, buffer: DeviceBuffer) -> None:
+        if buffer not in self.live_buffers:
+            raise GpuMemoryError(f"{buffer.label}: double free")
+        self.live_buffers.remove(buffer)
+        self.used_bytes -= buffer.nbytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available on the device."""
+        return self.capacity_bytes - self.used_bytes
+
+    def __repr__(self) -> str:
+        return (f"<DeviceMemory {self.used_bytes}/{self.capacity_bytes} B "
+                f"used, {len(self.live_buffers)} buffers>")

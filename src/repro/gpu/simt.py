@@ -1,0 +1,154 @@
+"""Functional SIMT execution model.
+
+Kernels are written as per-thread Python callables taking a
+:class:`ThreadCtx`.  :class:`SimtGrid` executes them with OpenCL-style
+geometry: a global range split into workgroups, each workgroup sharing a
+local-memory dict and synchronizing at barriers.
+
+Two kinds of kernel function are supported:
+
+* a plain function — runs to completion, no barriers;
+* a generator — every ``yield`` is a workgroup barrier; the executor runs
+  all threads of a workgroup phase by phase and raises if threads disagree
+  on the number of barriers (barrier divergence, illegal on real devices).
+
+Threads report their dynamic work with :meth:`ThreadCtx.work`.  The
+executor aggregates work per *wavefront* (64 consecutive threads on GCN)
+and computes wavefront efficiency = mean/max work per wavefront — the
+SIMT-divergence proxy the timing model and the paper's design discussion
+(§3.1(2): "many branch operations can degrade computational performance")
+care about.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import KernelError
+
+
+@dataclass
+class SimtStats:
+    """Aggregate statistics from one grid execution."""
+
+    threads: int = 0
+    workgroups: int = 0
+    barriers: int = 0
+    work_units: float = 0.0
+    #: Sum over wavefronts of (max thread work in wavefront).
+    wavefront_slot_units: float = 0.0
+
+    @property
+    def wavefront_efficiency(self) -> float:
+        """mean/max work ratio across wavefronts (1.0 = no divergence).
+
+        On a SIMT device a wavefront occupies its lanes for as long as its
+        *slowest* lane works, so charged slots are ``sum(max)`` while useful
+        work is ``sum(total)/width``.
+        """
+        if self.wavefront_slot_units == 0:
+            return 1.0
+        return self.work_units / (self.wavefront_slot_units or 1.0)
+
+
+class WorkgroupCtx:
+    """Shared state of one workgroup: id, size, local memory."""
+
+    def __init__(self, group_id: int, local_size: int):
+        self.group_id = group_id
+        self.local_size = local_size
+        #: OpenCL ``__local`` memory: shared scratch, visible after barriers.
+        self.local_mem: dict[str, Any] = {}
+
+
+class ThreadCtx:
+    """Per-thread execution context handed to kernel functions."""
+
+    def __init__(self, global_id: int, local_id: int, group: WorkgroupCtx,
+                 stats: SimtStats):
+        self.global_id = global_id
+        self.local_id = local_id
+        self.group = group
+        self._stats = stats
+        self.work_done = 0.0
+
+    def work(self, units: float) -> None:
+        """Report ``units`` of dynamic work (used for divergence stats)."""
+        if units < 0:
+            raise KernelError("negative work units")
+        self.work_done += units
+        self._stats.work_units += units
+
+
+class SimtGrid:
+    """Executes a kernel function over an OpenCL-style ND-range (1D)."""
+
+    def __init__(self, global_size: int, local_size: int,
+                 wavefront_width: int = 64):
+        if global_size <= 0:
+            raise KernelError(f"invalid global size {global_size}")
+        if local_size <= 0 or global_size % local_size != 0:
+            raise KernelError(
+                f"global size {global_size} is not a multiple of "
+                f"local size {local_size}")
+        if wavefront_width <= 0:
+            raise KernelError(f"invalid wavefront width {wavefront_width}")
+        self.global_size = global_size
+        self.local_size = local_size
+        self.wavefront_width = wavefront_width
+
+    def run(self, kernel_fn: Callable[..., Any], *args: Any) -> SimtStats:
+        """Execute ``kernel_fn(ctx, *args)`` for every thread in the range."""
+        stats = SimtStats(threads=self.global_size,
+                          workgroups=self.global_size // self.local_size)
+        is_generator = inspect.isgeneratorfunction(kernel_fn)
+        for group_id in range(stats.workgroups):
+            group = WorkgroupCtx(group_id, self.local_size)
+            threads = [
+                ThreadCtx(group_id * self.local_size + lid, lid, group, stats)
+                for lid in range(self.local_size)
+            ]
+            if is_generator:
+                self._run_group_phased(kernel_fn, threads, args, stats)
+            else:
+                for ctx in threads:
+                    kernel_fn(ctx, *args)
+            self._account_wavefronts(threads, stats)
+        return stats
+
+    def _run_group_phased(self, kernel_fn: Callable[..., Any],
+                          threads: list[ThreadCtx], args: tuple,
+                          stats: SimtStats) -> None:
+        generators = [kernel_fn(ctx, *args) for ctx in threads]
+        live = list(range(len(generators)))
+        phase = 0
+        while live:
+            finished: list[int] = []
+            paused: list[int] = []
+            for idx in live:
+                try:
+                    next(generators[idx])
+                    paused.append(idx)
+                except StopIteration:
+                    finished.append(idx)
+            if paused and finished:
+                raise KernelError(
+                    f"barrier divergence in workgroup at phase {phase}: "
+                    f"{len(paused)} threads hit a barrier while "
+                    f"{len(finished)} finished")
+            if paused:
+                stats.barriers += 1
+            live = paused
+            phase += 1
+
+    def _account_wavefronts(self, threads: list[ThreadCtx],
+                            stats: SimtStats) -> None:
+        # Lockstep lanes: a wavefront occupies every one of its lanes for as
+        # long as its slowest lane works, so it burns peak * lane_count slots.
+        width = self.wavefront_width
+        for start in range(0, len(threads), width):
+            wave = threads[start:start + width]
+            peak = max(t.work_done for t in wave)
+            stats.wavefront_slot_units += peak * len(wave)

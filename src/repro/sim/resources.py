@@ -1,0 +1,281 @@
+"""Shared-resource primitives for the simulation engine.
+
+:class:`Resource` models a counted resource (CPU hardware threads, the GPU
+command queue, SSD channels) with FIFO granting.  :class:`Store` models a
+producer/consumer queue between pipeline stages.  Both record enough history
+to report time-weighted utilization, which the benchmark harness surfaces as
+"CPU utilization" / "GPU utilization" in the paper-style reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Optional
+
+from repro.errors import ResourceError
+from repro.sim.engine import Environment, Event
+
+
+class UtilizationMonitor:
+    """Time-weighted occupancy accounting for a counted resource."""
+
+    def __init__(self, env: Environment, capacity: int):
+        self._env = env
+        self._capacity = capacity
+        self._level = 0
+        self._last_change = env.now
+        self._area = 0.0  # integral of level over time
+        self._peak = 0
+        self._start = env.now
+
+    def change(self, delta: int) -> None:
+        """Record the occupancy changing by ``delta`` at the current time."""
+        now = self._env.now
+        self._area += self._level * (now - self._last_change)
+        self._level += delta
+        self._peak = max(self._peak, self._level)
+        self._last_change = now
+
+    @property
+    def level(self) -> int:
+        """Current occupancy."""
+        return self._level
+
+    @property
+    def peak(self) -> int:
+        """Maximum occupancy observed."""
+        return self._peak
+
+    def utilization(self, until: Optional[float] = None) -> float:
+        """Mean fraction of capacity in use from creation until ``until``."""
+        end = self._env.now if until is None else until
+        elapsed = end - self._start
+        if elapsed <= 0:
+            return 0.0
+        area = self._area + self._level * (end - self._last_change)
+        return area / (elapsed * self._capacity)
+
+    def busy_time(self, until: Optional[float] = None) -> float:
+        """Total resource-seconds of occupancy (area under the level curve)."""
+        end = self._env.now if until is None else until
+        return self._area + self._level * (end - self._last_change)
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    The event triggers (with the request itself as value) once the resource
+    grants a slot.  Release the slot with :meth:`Resource.release` or by
+    using the request as a context manager inside a process::
+
+        with cpu.request() as req:
+            yield req
+            yield env.timeout(work)
+    """
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.granted = False
+        resource._enqueue(self)
+
+    def cancel(self) -> None:
+        """Withdraw an ungranted request (no-op if already granted)."""
+        if not self.granted:
+            self.resource._withdraw(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.granted:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A counted FIFO resource (e.g. N identical CPU hardware threads)."""
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "resource"):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
+        self.monitor = UtilizationMonitor(env, capacity)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently granted."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot to the pool."""
+        if request not in self.users:
+            raise ResourceError(
+                f"{self.name}: releasing a request that is not granted")
+        self.users.remove(request)
+        self.monitor.change(-1)
+        self._grant_waiters()
+
+    # -- internals ---------------------------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+        self._grant_waiters()
+
+    def _withdraw(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_waiters(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            request = self.queue.popleft()
+            self.users.append(request)
+            request.granted = True
+            self.monitor.change(+1)
+            request.succeed(request)
+
+
+class PriorityRequest(Request):
+    """A resource claim with an explicit priority (lower = sooner)."""
+
+    def __init__(self, resource: "PriorityResource", priority: int):
+        self.priority = priority
+        super().__init__(resource)
+
+
+class PriorityResource(Resource):
+    """A counted resource granting waiters by priority, then FIFO.
+
+    Used for the GPU command queue when the priority-scheduling
+    extension is on: latency-critical index batches overtake queued
+    compression batches (work already *running* is never preempted —
+    real devices don't preempt kernels either).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1,
+                 name: str = "priority-resource"):
+        super().__init__(env, capacity, name)
+        self._heap: list[tuple[int, int, PriorityRequest]] = []
+        self._seq = 0
+
+    def request(self, priority: int = 0) -> PriorityRequest:
+        """Claim a slot at the given priority."""
+        return PriorityRequest(self, priority)
+
+    # -- internals: heap-ordered waiting ----------------------------------------
+
+    def _enqueue(self, request: Request) -> None:
+        priority = getattr(request, "priority", 0)
+        self._seq += 1
+        heapq.heappush(self._heap, (priority, self._seq, request))
+        self._grant_waiters()
+
+    def _withdraw(self, request: Request) -> None:
+        for i, (_p, _s, waiting) in enumerate(self._heap):
+            if waiting is request:
+                self._heap[i] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return
+
+    def _grant_waiters(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _priority, _seq, request = heapq.heappop(self._heap)
+            self.users.append(request)
+            request.granted = True
+            self.monitor.change(+1)
+            request.succeed(request)
+
+
+class StorePut(Event):
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        self._store = store
+        store._put_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the offer if the store has not accepted it yet."""
+        if not self.triggered:
+            try:
+                self._store._put_queue.remove(self)
+            except ValueError:
+                pass
+
+
+class StoreGet(Event):
+    def __init__(self, store: "Store"):
+        super().__init__(store.env)
+        self._store = store
+        store._get_queue.append(self)
+        store._dispatch()
+
+    def cancel(self) -> None:
+        """Stop waiting for an item (used for get-with-timeout patterns).
+
+        A get that already received an item cannot be cancelled.
+        """
+        if not self.triggered:
+            try:
+                self._store._get_queue.remove(self)
+            except ValueError:
+                pass
+
+
+class Store:
+    """A FIFO item queue with optional capacity, linking pipeline stages."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf"),
+                 name: str = "store"):
+        if capacity <= 0:
+            raise ResourceError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._put_queue: deque[StorePut] = deque()
+        self._get_queue: deque[StoreGet] = deque()
+        #: Peak number of buffered items, for backpressure diagnostics.
+        self.peak_items = 0
+
+    def put(self, item: Any) -> StorePut:
+        """Offer ``item``; the event fires once the store has room."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Take the oldest item; the event fires once an item is available."""
+        return StoreGet(self)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently buffered."""
+        return len(self.items)
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.popleft()
+                self.items.append(put.item)
+                self.peak_items = max(self.peak_items, len(self.items))
+                put.succeed()
+                progressed = True
+            while self._get_queue and self.items:
+                get = self._get_queue.popleft()
+                get.succeed(self.items.popleft())
+                progressed = True

@@ -1,0 +1,81 @@
+"""Shared data types that flow through the reduction pipeline.
+
+:class:`Chunk` supports the library's two execution modes (DESIGN.md §2):
+
+* **payload mode** — ``payload`` holds real bytes; fingerprints come from
+  SHA-1 and compressed sizes from the real codecs.  Used by tests,
+  examples, and small functional runs.
+* **descriptor mode** — ``payload`` is ``None``; the workload generator
+  supplies a synthetic ``fingerprint`` (duplicates share fingerprints, so
+  deduplication logic still runs for real) and a per-chunk ``comp_ratio``
+  from which compressed sizes follow.  Used by the large timed benchmark
+  runs, where functionally compressing 2 GB in pure Python would be
+  impossible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigError
+
+#: The paper's chunk size for the evaluation workloads (4 KB I/Os).
+DEFAULT_CHUNK_SIZE = 4096
+
+#: SHA-1 fingerprint length in bytes.
+FINGERPRINT_BYTES = 20
+
+
+@dataclass
+class Chunk:
+    """One unit of deduplication/compression work."""
+
+    #: Logical byte offset of the chunk in its stream.
+    offset: int
+    #: Chunk length in bytes.
+    size: int
+    #: Real chunk contents (payload mode) or None (descriptor mode).
+    payload: Optional[bytes] = None
+    #: 20-byte SHA-1 fingerprint; set by the hashing stage (payload mode)
+    #: or by the workload generator (descriptor mode).
+    fingerprint: Optional[bytes] = None
+    #: Achieved/predicted compression ratio (original/compressed).
+    comp_ratio: Optional[float] = None
+    #: Set by the indexing stage: True once the chunk was found duplicate.
+    is_duplicate: Optional[bool] = None
+    #: Compressed size in bytes, set by the compression stage.
+    compressed_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigError(f"invalid chunk size {self.size}")
+        if self.offset < 0:
+            raise ConfigError(f"invalid chunk offset {self.offset}")
+        if self.payload is not None and len(self.payload) != self.size:
+            raise ConfigError(
+                f"payload length {len(self.payload)} != size {self.size}")
+        if self.fingerprint is not None \
+                and len(self.fingerprint) != FINGERPRINT_BYTES:
+            raise ConfigError(
+                f"fingerprint must be {FINGERPRINT_BYTES} bytes")
+
+    @property
+    def has_payload(self) -> bool:
+        """True in payload mode."""
+        return self.payload is not None
+
+    def require_fingerprint(self) -> bytes:
+        """The fingerprint, raising if the hashing stage has not run."""
+        if self.fingerprint is None:
+            raise ConfigError(
+                f"chunk at offset {self.offset} has no fingerprint yet")
+        return self.fingerprint
+
+    def effective_ratio(self) -> float:
+        """Best known compression ratio for cost accounting."""
+        if self.compressed_size:
+            return self.size / self.compressed_size
+        if self.comp_ratio is not None:
+            return max(1.0, self.comp_ratio)
+        return 1.0

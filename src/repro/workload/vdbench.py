@@ -1,0 +1,157 @@
+"""vdbench-style chunk streams with dedup and compression dials.
+
+The paper: "The vdbench is used to generate the dataset.  The size of the
+data stream is about 2 GB.  The deduplication and compression ratio are
+set to 2.0, which is a common ratio for primary storage systems."
+
+A :class:`VdbenchStream` emits chunks where
+
+* each chunk is a duplicate of an earlier one with probability
+  ``1 - 1/dedup_ratio`` (so the stream's total/unique ratio converges to
+  the dial),
+* duplicate picks favour the *recent* working set with probability
+  ``locality`` (temporal locality — what makes the paper's bin buffer
+  earn its keep) and otherwise draw uniformly from all prior uniques,
+* every unique gets a per-chunk compression ratio drawn around the dial.
+
+Payload mode regenerates real bytes deterministically per unique id, so
+duplicates are byte-identical and SHA-1 finds them; descriptor mode ships
+synthetic fingerprints (shared between duplicates) and the drawn ratio,
+which keeps indexing fully real at 2 GB scale without materializing 2 GB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.types import Chunk, DEFAULT_CHUNK_SIZE
+from repro.workload.datagen import BlockContentGenerator, \
+    analytic_random_fraction
+
+
+@dataclass
+class StreamStats:
+    """Ground-truth statistics of an emitted stream."""
+
+    chunks: int = 0
+    uniques: int = 0
+    duplicates: int = 0
+    bytes_emitted: int = 0
+    ratio_sum: float = 0.0
+
+    @property
+    def dedup_ratio(self) -> float:
+        """total chunks / unique chunks."""
+        return self.chunks / self.uniques if self.uniques else 1.0
+
+    @property
+    def mean_comp_ratio(self) -> float:
+        """Mean per-chunk compression-ratio dial value."""
+        return self.ratio_sum / self.chunks if self.chunks else 1.0
+
+
+class VdbenchStream:
+    """Deterministic chunk stream with dedup/compression dials."""
+
+    def __init__(self, dedup_ratio: float = 2.0, comp_ratio: float = 2.0,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE, seed: int = 0,
+                 payload: bool = False, comp_spread: float = 0.15,
+                 locality: float = 0.5, working_set: int = 128):
+        if dedup_ratio < 1.0:
+            raise WorkloadError(
+                f"dedup_ratio must be >= 1.0, got {dedup_ratio}")
+        if comp_ratio < 1.0:
+            raise WorkloadError(
+                f"comp_ratio must be >= 1.0, got {comp_ratio}")
+        if not 0.0 <= locality <= 1.0:
+            raise WorkloadError(f"locality must be in [0, 1], "
+                                f"got {locality}")
+        if working_set < 1:
+            raise WorkloadError(f"working_set must be >= 1")
+        self.dedup_ratio = dedup_ratio
+        self.comp_ratio = comp_ratio
+        self.chunk_size = chunk_size
+        self.seed = seed
+        self.payload = payload
+        self.comp_spread = comp_spread
+        self.locality = locality
+        self.working_set = working_set
+        self._rng = random.Random(seed)
+        self._dup_probability = 1.0 - 1.0 / dedup_ratio
+        #: Per-unique-id compression ratio (duplicates share content).
+        self._unique_ratios: list[float] = []
+        self._offset = 0
+        self._content = BlockContentGenerator(comp_ratio, seed=seed) \
+            if payload else None
+        self.stats = StreamStats()
+
+    # -- internals ---------------------------------------------------------
+
+    def _draw_ratio(self) -> float:
+        ratio = self._rng.gauss(self.comp_ratio,
+                                self.comp_ratio * self.comp_spread)
+        return max(1.0, ratio)
+
+    def _pick_duplicate_id(self) -> int:
+        n = len(self._unique_ratios)
+        if self.locality and self._rng.random() < self.locality:
+            window = min(self.working_set, n)
+            return self._rng.randrange(n - window, n)
+        return self._rng.randrange(n)
+
+    def _fingerprint_for(self, unique_id: int) -> bytes:
+        return hashlib.sha1(
+            f"vdbench:{self.seed}:{unique_id}".encode()).digest()
+
+    def _payload_for(self, unique_id: int, ratio: float) -> bytes:
+        assert self._content is not None
+        self._content.random_fraction = analytic_random_fraction(ratio)
+        return self._content.make_block(self.chunk_size, salt=unique_id)
+
+    # -- stream ------------------------------------------------------------
+
+    def next_chunk(self) -> Chunk:
+        """Emit the next chunk of the stream."""
+        is_dup = (self._unique_ratios
+                  and self._rng.random() < self._dup_probability)
+        if is_dup:
+            unique_id = self._pick_duplicate_id()
+            ratio = self._unique_ratios[unique_id]
+            self.stats.duplicates += 1
+        else:
+            unique_id = len(self._unique_ratios)
+            ratio = self._draw_ratio()
+            self._unique_ratios.append(ratio)
+            self.stats.uniques += 1
+
+        chunk = Chunk(
+            offset=self._offset,
+            size=self.chunk_size,
+            payload=(self._payload_for(unique_id, ratio)
+                     if self.payload else None),
+            fingerprint=(None if self.payload
+                         else self._fingerprint_for(unique_id)),
+            comp_ratio=None if self.payload else ratio,
+        )
+        self._offset += self.chunk_size
+        self.stats.chunks += 1
+        self.stats.bytes_emitted += self.chunk_size
+        self.stats.ratio_sum += ratio
+        return chunk
+
+    def chunks(self, n: int) -> Iterator[Chunk]:
+        """Emit ``n`` chunks."""
+        for _ in range(n):
+            yield self.next_chunk()
+
+    def chunks_for_bytes(self, total_bytes: int) -> Iterator[Chunk]:
+        """Emit chunks until ``total_bytes`` of stream have been produced."""
+        emitted = 0
+        while emitted < total_bytes:
+            chunk = self.next_chunk()
+            emitted += chunk.size
+            yield chunk

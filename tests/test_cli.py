@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import GPU_PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mode == "gpu_comp"
+        assert args.chunks == 16384
+        assert args.dedup_ratio == 2.0
+
+    def test_run_mode_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--mode", "nonsense"])
+
+    def test_gpu_preset_choices(self):
+        assert set(GPU_PRESETS) == {"testbed", "weak", "none"}
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--gpu", "imaginary"])
+
+    def test_codec_requires_file(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["codec"])
+
+
+class TestRunCommand:
+    def test_cpu_only_run(self, capsys):
+        code = main(["run", "--mode", "cpu_only", "--chunks", "1024",
+                     "--gpu", "none"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "K IOPS" in out
+        assert "dedup ratio" in out
+
+    def test_gpu_mode_without_gpu_fails_cleanly(self, capsys):
+        code = main(["run", "--mode", "gpu_comp", "--chunks", "1024",
+                     "--gpu", "none"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "needs a GPU" in err
+
+    def test_custom_platform(self, capsys):
+        code = main(["run", "--mode", "cpu_only", "--chunks", "1024",
+                     "--gpu", "none", "--cpu-cores", "2",
+                     "--cpu-threads", "2", "--cpu-ghz", "2.0"])
+        assert code == 0
+
+    def test_workload_dials(self, capsys):
+        code = main(["run", "--mode", "cpu_only", "--chunks", "1024",
+                     "--gpu", "none", "--dedup-ratio", "3.0",
+                     "--comp-ratio", "1.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # The dedup dial should be visible in the report (~3x).
+        assert "dedup ratio" in out
+
+
+class TestCalibrateCommand:
+    def test_calibrate_testbed(self, capsys):
+        code = main(["calibrate", "--chunks", "2048"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "commit to" in out
+        assert "gpu_comp" in out or "gpu_both" in out
+
+    def test_calibrate_without_gpu(self, capsys):
+        code = main(["calibrate", "--chunks", "2048", "--gpu", "none"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cpu_only" in out
+
+
+class TestCodecCommand:
+    def test_roundtrip_report(self, tmp_path, capsys):
+        target = tmp_path / "data.bin"
+        target.write_bytes(b"compress me please " * 500)
+        code = main(["codec", str(target), "--codec", "lzss"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "round-trip verified" in out
+        assert "ratio" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        code = main(["codec", str(tmp_path / "absent.bin")])
+        assert code == 2
+
+    def test_empty_file(self, tmp_path, capsys):
+        target = tmp_path / "empty.bin"
+        target.write_bytes(b"")
+        code = main(["codec", str(target)])
+        assert code == 2
+
+    def test_limit_respected(self, tmp_path, capsys):
+        target = tmp_path / "big.bin"
+        target.write_bytes(b"x" * 10000)
+        code = main(["codec", str(target), "--limit", "1000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1,000 B" in out
+
+
+class TestBenchCommand:
+    def test_list_experiments(self, capsys):
+        code = main(["bench", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for expected in ("e1", "e4", "a9", "a14"):
+            assert expected in out.split()
+
+    def test_unknown_experiment(self, capsys):
+        code = main(["bench", "zz"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown experiment" in err
+
+    def test_run_dataclass_result(self, capsys):
+        code = main(["bench", "a9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "duplicates_missed" in out
+
+    def test_run_list_result(self, capsys):
+        code = main(["bench", "a14"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "write_amplification" in out
+
+    def test_run_dict_result(self, capsys):
+        code = main(["bench", "a5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "best_mode" in out or "testbed" in out

@@ -1,0 +1,299 @@
+"""Unit tests for the GPU device model, memory, PCIe, and SIMT executor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GpuMemoryError, KernelError
+from repro.gpu import (
+    DeviceMemory,
+    GpuDevice,
+    GpuSpec,
+    Kernel,
+    KernelCost,
+    PcieLink,
+    PcieSpec,
+    RADEON_HD_7970,
+    SimtGrid,
+)
+from repro.sim import Environment
+
+
+class TestGpuSpec:
+    def test_testbed_lane_count(self):
+        assert RADEON_HD_7970.total_lanes == 2048
+
+    def test_effective_lanes_respect_occupancy(self):
+        assert RADEON_HD_7970.effective_lanes == pytest.approx(2048 * 0.25)
+
+    def test_invalid_occupancy_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuSpec(name="x", compute_units=1, lanes_per_cu=1, freq_hz=1e9,
+                    mem_bandwidth_bps=1e9, mem_capacity_bytes=1024,
+                    launch_overhead_s=0.0, sync_overhead_s=0.0,
+                    occupancy=0.0)
+
+
+class TestDeviceMemory:
+    def test_alloc_and_free_track_usage(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(512, "a")
+        assert mem.used_bytes == 512
+        buf.free()
+        assert mem.used_bytes == 0
+        assert mem.peak_bytes == 512
+
+    def test_oom_raises(self):
+        mem = DeviceMemory(1024)
+        mem.alloc(1000, "big")
+        with pytest.raises(GpuMemoryError, match="out of device memory"):
+            mem.alloc(100, "too much")
+
+    def test_use_after_free_raises(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(100, "x")
+        buf.free()
+        with pytest.raises(GpuMemoryError, match="use after free"):
+            buf.read()
+
+    def test_double_free_raises(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(100, "x")
+        mem._release(buf)
+        with pytest.raises(GpuMemoryError, match="double free"):
+            buf.free()
+
+    def test_read_unwritten_buffer_raises(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(100, "x")
+        with pytest.raises(GpuMemoryError, match="unwritten"):
+            buf.read()
+
+    def test_oversized_write_raises(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(8, "x")
+        with pytest.raises(GpuMemoryError):
+            buf.write(np.zeros(16, dtype=np.uint8))
+
+    def test_write_read_roundtrip(self):
+        mem = DeviceMemory(1024)
+        buf = mem.alloc(16, "x")
+        data = np.arange(16, dtype=np.uint8)
+        buf.write(data)
+        assert np.array_equal(buf.read(), data)
+
+
+class TestPcie:
+    def test_zero_bytes_is_free(self):
+        link = PcieLink()
+        assert link.transfer_time(0) == 0.0
+
+    def test_small_transfer_latency_bound(self):
+        link = PcieLink()
+        tiny = link.transfer_time(64)
+        assert tiny >= link.spec.setup_latency_s
+        assert tiny < 2 * link.spec.setup_latency_s
+
+    def test_large_transfer_bandwidth_bound(self):
+        link = PcieLink()
+        one_gig = link.transfer_time(int(link.spec.bandwidth_bps))
+        assert one_gig == pytest.approx(1.0 + link.spec.setup_latency_s)
+
+    def test_negative_size_rejected(self):
+        link = PcieLink()
+        with pytest.raises(ConfigError):
+            link.transfer_time(-1)
+
+    def test_traffic_accounting(self):
+        link = PcieLink()
+        link.record(100, to_device=True)
+        link.record(40, to_device=False)
+        assert link.bytes_to_device == 100
+        assert link.bytes_from_device == 40
+        assert link.transfer_count == 2
+
+
+class TestSimtGrid:
+    def test_every_thread_runs_with_correct_ids(self):
+        seen = []
+
+        def kernel(ctx):
+            seen.append((ctx.global_id, ctx.local_id, ctx.group.group_id))
+
+        SimtGrid(global_size=8, local_size=4).run(kernel)
+        assert seen == [(i, i % 4, i // 4) for i in range(8)]
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(KernelError):
+            SimtGrid(global_size=10, local_size=4)
+
+    def test_local_memory_shared_within_group_only(self):
+        def kernel(ctx, sink):
+            ctx.group.local_mem.setdefault("ids", []).append(ctx.global_id)
+            if ctx.local_id == ctx.group.local_size - 1:
+                sink.append(sorted(ctx.group.local_mem["ids"]))
+
+        sink = []
+        SimtGrid(global_size=8, local_size=4).run(kernel, sink)
+        assert sink == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_barrier_phases_synchronize(self):
+        def kernel(ctx, log):
+            ctx.group.local_mem.setdefault("phase1", set()).add(ctx.local_id)
+            yield  # barrier
+            log.append(len(ctx.group.local_mem["phase1"]))
+
+        log = []
+        SimtGrid(global_size=4, local_size=4).run(kernel, log)
+        # After the barrier every thread must observe all 4 phase-1 writes.
+        assert log == [4, 4, 4, 4]
+
+    def test_barrier_divergence_detected(self):
+        def kernel(ctx):
+            if ctx.local_id == 0:
+                yield  # only thread 0 hits the barrier
+
+        with pytest.raises(KernelError, match="barrier divergence"):
+            SimtGrid(global_size=4, local_size=4).run(kernel)
+
+    def test_uniform_work_has_full_efficiency(self):
+        def kernel(ctx):
+            ctx.work(10)
+
+        stats = SimtGrid(global_size=128, local_size=64).run(kernel)
+        assert stats.wavefront_efficiency == pytest.approx(1.0)
+        assert stats.work_units == 1280
+
+    def test_divergent_work_lowers_efficiency(self):
+        def kernel(ctx):
+            ctx.work(100 if ctx.global_id == 0 else 1)
+
+        stats = SimtGrid(global_size=64, local_size=64).run(kernel)
+        assert stats.wavefront_efficiency < 0.05
+
+    def test_barrier_count_reported(self):
+        def kernel(ctx):
+            yield
+            yield
+
+        stats = SimtGrid(global_size=8, local_size=4).run(kernel)
+        assert stats.barriers == 4  # 2 barriers x 2 workgroups
+
+
+class _NoopKernel(Kernel):
+    name = "noop"
+
+    def __init__(self, threads=64, lane_cycles=64e3, critical=1e3,
+                 read=0.0, written=0.0, nbytes_in=0, nbytes_out=0):
+        self._cost = KernelCost(
+            name=self.name, threads=threads, lane_cycles_total=lane_cycles,
+            critical_path_cycles=critical, bytes_read=read,
+            bytes_written=written)
+        self._in = nbytes_in
+        self._out = nbytes_out
+
+    def execute(self):
+        return "ran"
+
+    def cost(self):
+        return self._cost
+
+    def bytes_in(self):
+        return self._in
+
+    def bytes_out(self):
+        return self._out
+
+
+class TestGpuDevice:
+    def _launch(self, device, kernel):
+        env = device.env
+        result = {}
+
+        def proc():
+            result["value"] = yield from device.launch(kernel)
+
+        env.process(proc())
+        env.run()
+        return result["value"]
+
+    def test_launch_returns_functional_result(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        assert self._launch(gpu, _NoopKernel()) == "ran"
+        assert gpu.kernels_launched == 1
+
+    def test_launch_charges_at_least_fixed_overheads(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        self._launch(gpu, _NoopKernel(lane_cycles=0.0, critical=0.0))
+        floor = gpu.spec.launch_overhead_s + gpu.spec.sync_overhead_s
+        assert env.now >= floor
+
+    def test_compute_bound_kernel_time(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        lanes = gpu.spec.effective_lanes
+        cost = KernelCost(name="k", threads=10**6,
+                          lane_cycles_total=lanes * gpu.spec.freq_hz,
+                          critical_path_cycles=0.0,
+                          bytes_read=0.0, bytes_written=0.0)
+        assert gpu.kernel_time(cost) == pytest.approx(1.0)
+
+    def test_memory_bound_kernel_time(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        cost = KernelCost(name="k", threads=10**6,
+                          lane_cycles_total=0.0, critical_path_cycles=0.0,
+                          bytes_read=gpu.spec.mem_bandwidth_bps,
+                          bytes_written=0.0)
+        assert gpu.kernel_time(cost) == pytest.approx(1.0)
+
+    def test_latency_floor_binds_small_launches(self):
+        """A single-thread kernel cannot go faster than its serial chain."""
+        env = Environment()
+        gpu = GpuDevice(env)
+        cost = KernelCost(name="k", threads=1,
+                          lane_cycles_total=1e6, critical_path_cycles=1e6,
+                          bytes_read=0.0, bytes_written=0.0)
+        assert gpu.kernel_time(cost) == pytest.approx(1e6 / gpu.spec.freq_hz)
+
+    def test_queue_serializes_launches(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        kernel = _NoopKernel(lane_cycles=0.0, critical=gpu.spec.freq_hz)
+
+        def proc():
+            yield from gpu.launch(kernel)
+
+        env.process(proc())
+        env.process(proc())
+        env.run()
+        per_launch = gpu.launch_time(kernel)
+        assert env.now == pytest.approx(2 * per_launch)
+        assert gpu.launches[1].queue_wait == pytest.approx(per_launch)
+
+    def test_pcie_costs_included_in_launch(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        with_io = gpu.launch_time(_NoopKernel(nbytes_in=10**6,
+                                              nbytes_out=10**6))
+        without_io = gpu.launch_time(_NoopKernel())
+        assert with_io > without_io
+
+    def test_transfer_roundtrip(self):
+        env = Environment()
+        gpu = GpuDevice(env)
+        buf = gpu.memory.alloc(64, "x")
+        data = np.arange(64, dtype=np.uint8)
+        out = {}
+
+        def proc():
+            yield from gpu.transfer_to_device(buf, data)
+            out["data"] = yield from gpu.transfer_from_device(buf)
+
+        env.process(proc())
+        env.run()
+        assert np.array_equal(out["data"], data)
+        assert gpu.pcie.bytes_to_device == 64
+        assert gpu.pcie.bytes_from_device == 64
+        assert env.now == pytest.approx(2 * gpu.pcie.transfer_time(64))

@@ -1,0 +1,81 @@
+"""Tests for the log-bucketed latency histogram."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.histogram import LatencyHistogram
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        hist = LatencyHistogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.count == 0
+
+    def test_mean_is_exact(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0, 2.0, 3.0])
+        assert hist.mean == pytest.approx(2.0)
+        assert hist.peak == 3.0
+
+    def test_percentiles_ordered(self):
+        hist = LatencyHistogram()
+        rng = random.Random(1)
+        hist.record_many(rng.expovariate(100.0) for _ in range(5000))
+        p50 = hist.percentile(0.50)
+        p99 = hist.percentile(0.99)
+        p999 = hist.percentile(0.999)
+        assert p50 <= p99 <= p999 <= hist.peak
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        hist = LatencyHistogram()
+        values = [i / 1000.0 for i in range(1, 1001)]  # 1ms..1s uniform
+        hist.record_many(values)
+        # P50 should land near 0.5 s within the ~4.7% bucket width.
+        assert hist.percentile(0.50) == pytest.approx(0.5, rel=0.08)
+        assert hist.percentile(0.99) == pytest.approx(0.99, rel=0.08)
+
+    def test_subfloor_samples_land_in_first_bucket(self):
+        hist = LatencyHistogram(floor=1e-6)
+        hist.record(1e-9)
+        assert hist.percentile(1.0) <= 1e-6
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().record(-1.0)
+
+    def test_invalid_percentile_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram().percentile(1.5)
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyHistogram(floor=0.0)
+        with pytest.raises(ConfigError):
+            LatencyHistogram(base=1.0)
+
+    def test_summary_keys(self):
+        hist = LatencyHistogram()
+        hist.record(0.01)
+        summary = hist.summary()
+        assert set(summary) == {"mean", "p50", "p99", "p999", "max"}
+
+    def test_huge_samples_clamp_to_last_bucket(self):
+        hist = LatencyHistogram(n_buckets=16)
+        hist.record(1e9)
+        assert hist.percentile(1.0) == 1e9  # clamped to observed peak
+
+    @given(st.lists(st.floats(min_value=1e-9, max_value=1e3,
+                              allow_nan=False), min_size=1, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_percentile_bounds_property(self, samples):
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        assert hist.percentile(0.0) <= hist.percentile(1.0)
+        assert hist.percentile(1.0) <= hist.peak * (1 + 1e-12)
+        assert hist.count == len(samples)

@@ -1,0 +1,170 @@
+"""Tests for bit I/O, the Huffman coder, and the combined codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.compression.huffman import (
+    HuffmanCodec,
+    LzssHuffmanCodec,
+    _canonical_codes,
+    _code_lengths,
+)
+from repro.compression.lzss import LzssCodec
+from repro.errors import CorruptStreamError
+from repro.workload.datagen import BlockContentGenerator
+
+
+class TestBitIO:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1]
+        for bit in bits:
+            writer.write_bit(bit)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read_bit() for _ in range(len(bits))] == bits
+
+    def test_multi_bit_fields_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b101, 3)
+        writer.write_bits(0b11110000, 8)
+        writer.write_bits(0b1, 1)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_bits(3) == 0b101
+        assert reader.read_bits(8) == 0b11110000
+        assert reader.read_bits(1) == 0b1
+
+    def test_overflowing_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(8, 3)
+
+    def test_exhausted_reader_raises(self):
+        reader = BitReader(b"")
+        with pytest.raises(CorruptStreamError):
+            reader.read_bit()
+
+    def test_padding_is_zero(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        assert writer.getvalue() == bytes([0b10000000])
+
+    @given(st.lists(st.tuples(st.integers(0, 2**16 - 1),
+                              st.integers(1, 16)), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, fields):
+        writer = BitWriter()
+        clipped = [(value & ((1 << width) - 1), width)
+                   for value, width in fields]
+        for value, width in clipped:
+            writer.write_bits(value, width)
+        reader = BitReader(writer.getvalue())
+        for value, width in clipped:
+            assert reader.read_bits(width) == value
+
+
+class TestCodeConstruction:
+    def test_two_symbols_get_one_bit_each(self):
+        from collections import Counter
+        lengths = _code_lengths(Counter({65: 10, 66: 1}))
+        assert lengths == {65: 1, 66: 1}
+
+    def test_skewed_frequencies_get_shorter_codes(self):
+        from collections import Counter
+        lengths = _code_lengths(Counter({0: 1000, 1: 10, 2: 10, 3: 1}))
+        assert lengths[0] < lengths[3]
+
+    def test_canonical_codes_are_prefix_free(self):
+        from collections import Counter
+        lengths = _code_lengths(Counter(b"abracadabra alakazam"))
+        codes = _canonical_codes(lengths)
+        as_strings = [format(code, f"0{length}b")
+                      for code, length in codes.values()]
+        for a in as_strings:
+            for b in as_strings:
+                if a != b:
+                    assert not b.startswith(a)
+
+    def test_kraft_inequality_holds(self):
+        from collections import Counter
+        lengths = _code_lengths(Counter(bytes(range(200)) * 3 + b"aaa"))
+        assert sum(2.0 ** -l for l in lengths.values()) <= 1.0 + 1e-9
+
+
+class TestHuffmanCodec:
+    def test_empty(self):
+        codec = HuffmanCodec()
+        assert codec.decode(codec.encode(b"")) == b""
+
+    def test_single_symbol_run(self):
+        codec = HuffmanCodec()
+        data = b"a" * 1000
+        blob = codec.encode(data)
+        assert codec.decode(blob) == data
+        assert len(blob) < 200  # ~1 bit/symbol
+
+    def test_text_compresses(self):
+        codec = HuffmanCodec()
+        data = (b"the entropy of english text is well under "
+                b"eight bits per character ") * 30
+        blob = codec.encode(data)
+        assert codec.decode(blob) == data
+        assert len(blob) < len(data) * 0.75
+
+    def test_uniform_bytes_incompressible(self):
+        codec = HuffmanCodec()
+        data = bytes(range(256)) * 8
+        blob = codec.encode(data)
+        assert codec.decode(blob) == data
+        assert len(blob) >= len(data)  # 8 bits/symbol + table
+
+    def test_truncated_container_rejected(self):
+        codec = HuffmanCodec()
+        with pytest.raises(CorruptStreamError):
+            codec.decode(b"\x00\x00")
+
+    def test_corrupt_codebook_rejected(self):
+        codec = HuffmanCodec()
+        blob = bytearray(codec.encode(b"hello world"))
+        blob[7] = 0  # zero code length
+        with pytest.raises(CorruptStreamError):
+            codec.decode(bytes(blob))
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = HuffmanCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+
+class TestLzssHuffmanCodec:
+    def test_roundtrip(self):
+        codec = LzssHuffmanCodec()
+        data = BlockContentGenerator(2.0, seed=5).make_block(4096, salt=1)
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_beats_plain_lzss_on_text(self):
+        combined = LzssHuffmanCodec()
+        plain = LzssCodec(lazy=True)
+        data = (b"storage systems adore entropy coding after "
+                b"lz matching removed the repeats ") * 50
+        assert len(combined.encode(data)) < len(plain.encode(data))
+
+    def test_works_in_reduced_volume(self):
+        from repro.storage import ReducedVolume
+        volume = ReducedVolume(codec=LzssHuffmanCodec())
+        data = BlockContentGenerator(2.0, seed=6).make_block(4096, salt=2)
+        volume.write(0, data)
+        assert volume.read(0, 4096) == data
+        assert volume.physical_bytes < 4096
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        codec = LzssHuffmanCodec()
+        assert codec.decode(codec.encode(data)) == data
+
+    def test_ratio_helper(self):
+        codec = LzssHuffmanCodec()
+        assert codec.ratio(b"") == 1.0
+        assert codec.ratio(b"abc" * 500) > 3.0

@@ -1,0 +1,97 @@
+"""Unit tests for the timed read pipeline."""
+
+import hashlib
+
+import pytest
+
+from repro.core.readpath import ReadPipeline
+from repro.errors import ConfigError, MetadataError
+from repro.sim import Environment
+from repro.storage import MetadataStore
+
+
+def fp(n: int) -> bytes:
+    return hashlib.sha1(n.to_bytes(8, "big")).digest()
+
+
+def populated_store(n_chunks=32, compressed_size=2048):
+    store = MetadataStore()
+    for i in range(n_chunks):
+        store.store_unique(fp(i), 4096, compressed_size)
+        store.map_logical(i * 4096, fp(i), 4096)
+    return store
+
+
+class TestReadPipeline:
+    def test_serves_all_reads(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store())
+        report = pipeline.run([i * 4096 for i in range(32)])
+        assert report.reads == 32
+        assert report.bytes_served == 32 * 4096
+        assert report.iops > 0
+
+    def test_decompression_counted_for_compressed_chunks(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store(compressed_size=2048))
+        report = pipeline.run([0, 4096])
+        assert report.decompressed == 2
+
+    def test_raw_chunks_skip_decompression(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store(compressed_size=4096))
+        report = pipeline.run([0, 4096])
+        assert report.decompressed == 0
+
+    def test_decompress_flag_disables_decode(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store(),
+                                decompress=False)
+        report = pipeline.run([0])
+        assert report.decompressed == 0
+
+    def test_decompression_costs_time(self):
+        def run(compressed_size, decompress=True):
+            env = Environment()
+            pipeline = ReadPipeline(
+                env, populated_store(compressed_size=compressed_size),
+                decompress=decompress, window=1)
+            return pipeline.run([i * 4096 for i in range(16)])
+
+        with_decode = run(2048)
+        without_decode = run(2048, decompress=False)
+        assert with_decode.duration_s > without_decode.duration_s
+
+    def test_unmapped_offset_raises(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store())
+        with pytest.raises(MetadataError):
+            pipeline.run([10**9])
+
+    def test_empty_read_list_rejected(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store())
+        with pytest.raises(ConfigError):
+            pipeline.run([])
+
+    def test_invalid_window_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            ReadPipeline(env, populated_store(), window=0)
+
+    def test_latency_below_duration(self):
+        env = Environment()
+        pipeline = ReadPipeline(env, populated_store(), window=4)
+        report = pipeline.run([i * 4096 for i in range(32)])
+        assert 0 < report.mean_latency_s <= report.duration_s
+
+    def test_dedup_sharing_serves_shared_chunks(self):
+        store = MetadataStore()
+        store.store_unique(fp(1), 4096, 2048)
+        for slot in range(8):
+            store.map_logical(slot * 4096, fp(1), 4096)
+        env = Environment()
+        pipeline = ReadPipeline(env, store)
+        report = pipeline.run([slot * 4096 for slot in range(8)])
+        assert report.reads == 8
+        assert report.bytes_served == 8 * 4096

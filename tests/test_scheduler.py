@@ -1,0 +1,82 @@
+"""Tests for the offload scheduler."""
+
+import pytest
+
+from repro.core.scheduler import OffloadScheduler, SchedulerStats
+from repro.cpu import SimCpu
+from repro.errors import ConfigError
+from repro.sim import Environment
+
+
+def busy_cpu(env, fraction=1.0):
+    cpu = SimCpu(env)
+    n = int(cpu.spec.threads * fraction)
+
+    def hog():
+        yield from cpu.execute_for(100.0)
+
+    for _ in range(n):
+        env.process(hog())
+    env.run(until=1.0)
+    return cpu
+
+
+class TestOffloadScheduler:
+    def test_saturated_cpu_offloads(self):
+        env = Environment()
+        cpu = busy_cpu(env)
+        scheduler = OffloadScheduler(cpu)
+        assert scheduler.should_offload_index() is True
+        assert scheduler.stats.offloaded == 1
+
+    def test_idle_cpu_keeps_local(self):
+        env = Environment()
+        cpu = SimCpu(env)
+        scheduler = OffloadScheduler(cpu)
+        assert scheduler.should_offload_index() is False
+        assert scheduler.stats.skipped_idle_cpu == 1
+
+    def test_partially_busy_cpu_keeps_local(self):
+        env = Environment()
+        cpu = busy_cpu(env, fraction=0.5)
+        scheduler = OffloadScheduler(cpu)
+        assert scheduler.should_offload_index() is False
+
+    def test_threshold_tunable(self):
+        env = Environment()
+        cpu = busy_cpu(env, fraction=0.5)
+        scheduler = OffloadScheduler(cpu, saturation_threshold=0.4)
+        assert scheduler.should_offload_index() is True
+
+    def test_always_policy(self):
+        env = Environment()
+        scheduler = OffloadScheduler(SimCpu(env), policy="always")
+        assert scheduler.should_offload_index() is True
+
+    def test_never_policy(self):
+        env = Environment()
+        cpu = busy_cpu(env)
+        scheduler = OffloadScheduler(cpu, policy="never")
+        assert scheduler.should_offload_index() is False
+
+    def test_no_gpu_never_offloads(self):
+        env = Environment()
+        cpu = busy_cpu(env)
+        scheduler = OffloadScheduler(cpu, gpu_available=False)
+        assert scheduler.should_offload_index() is False
+
+    def test_invalid_policy_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            OffloadScheduler(SimCpu(env), policy="sometimes")
+
+    def test_invalid_threshold_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigError):
+            OffloadScheduler(SimCpu(env), saturation_threshold=0.0)
+
+    def test_stats_fractions(self):
+        stats = SchedulerStats(offloaded=3, kept_local=1)
+        assert stats.decisions == 4
+        assert stats.offload_fraction == pytest.approx(0.75)
+        assert SchedulerStats().offload_fraction == 0.0

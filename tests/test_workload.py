@@ -1,0 +1,214 @@
+"""Tests for the vdbench-substitute workload package."""
+
+import hashlib
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workload import (
+    BlockContentGenerator,
+    SequentialPattern,
+    TraceRecord,
+    TraceRecorder,
+    UniformPattern,
+    VdbenchStream,
+    ZipfPattern,
+    measured_ratio,
+)
+
+
+class TestBlockContentGenerator:
+    def test_deterministic_per_salt(self):
+        g1 = BlockContentGenerator(2.0, seed=5)
+        g2 = BlockContentGenerator(2.0, seed=5)
+        assert g1.make_block(4096, salt=7) == g2.make_block(4096, salt=7)
+
+    def test_different_salts_differ(self):
+        g = BlockContentGenerator(2.0, seed=5)
+        assert g.make_block(4096, salt=1) != g.make_block(4096, salt=2)
+
+    def test_calibration_hits_target(self):
+        for target in (1.3, 2.0, 3.0):
+            g = BlockContentGenerator(target, seed=3)
+            achieved = g.calibrate(tolerance=0.05)
+            assert achieved == pytest.approx(target, rel=0.08)
+
+    def test_ratio_monotone_in_target(self):
+        low = BlockContentGenerator(1.2, seed=1)
+        high = BlockContentGenerator(3.5, seed=1)
+        low.calibrate()
+        high.calibrate()
+        assert (measured_ratio(high.make_block(4096, salt=0))
+                > measured_ratio(low.make_block(4096, salt=0)))
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(WorkloadError):
+            BlockContentGenerator(0.5)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            BlockContentGenerator(2.0).make_block(0)
+
+
+class TestVdbenchStream:
+    def test_dedup_ratio_converges(self):
+        stream = VdbenchStream(dedup_ratio=2.0, seed=11)
+        for _ in stream.chunks(8000):
+            pass
+        assert stream.stats.dedup_ratio == pytest.approx(2.0, rel=0.07)
+
+    def test_dedup_ratio_three(self):
+        stream = VdbenchStream(dedup_ratio=3.0, seed=11)
+        for _ in stream.chunks(9000):
+            pass
+        assert stream.stats.dedup_ratio == pytest.approx(3.0, rel=0.08)
+
+    def test_no_dedup_all_unique(self):
+        stream = VdbenchStream(dedup_ratio=1.0, seed=2)
+        chunks = list(stream.chunks(100))
+        fingerprints = {c.fingerprint for c in chunks}
+        assert len(fingerprints) == 100
+
+    def test_descriptor_chunks_carry_fingerprints_and_ratios(self):
+        stream = VdbenchStream(seed=4)
+        chunk = stream.next_chunk()
+        assert chunk.payload is None
+        assert len(chunk.fingerprint) == 20
+        assert chunk.comp_ratio >= 1.0
+
+    def test_duplicates_share_fingerprints(self):
+        stream = VdbenchStream(dedup_ratio=4.0, seed=8)
+        chunks = list(stream.chunks(2000))
+        assert len({c.fingerprint for c in chunks}) == stream.stats.uniques
+
+    def test_payload_mode_duplicates_are_byte_identical(self):
+        stream = VdbenchStream(dedup_ratio=3.0, seed=6, payload=True)
+        chunks = list(stream.chunks(300))
+        digests = [hashlib.sha1(c.payload).digest() for c in chunks]
+        ratio = len(digests) / len(set(digests))
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_payload_mode_compression_dial(self):
+        stream = VdbenchStream(comp_ratio=2.0, dedup_ratio=1.0, seed=6,
+                               payload=True)
+        ratios = [measured_ratio(c.payload) for c in stream.chunks(20)]
+        mean = sum(ratios) / len(ratios)
+        assert mean == pytest.approx(2.0, rel=0.2)
+
+    def test_offsets_are_sequential(self):
+        stream = VdbenchStream(seed=1)
+        chunks = list(stream.chunks(10))
+        assert [c.offset for c in chunks] == [i * 4096 for i in range(10)]
+
+    def test_chunks_for_bytes(self):
+        stream = VdbenchStream(seed=1)
+        chunks = list(stream.chunks_for_bytes(10 * 4096))
+        assert len(chunks) == 10
+
+    def test_locality_increases_recent_duplicates(self):
+        local = VdbenchStream(dedup_ratio=2.0, seed=3, locality=1.0,
+                              working_set=16)
+        spread = VdbenchStream(dedup_ratio=2.0, seed=3, locality=0.0)
+
+        def recent_fraction(stream):
+            seen = []
+            recent = 0
+            dups = 0
+            for chunk in stream.chunks(4000):
+                if chunk.fingerprint in seen[-64:]:
+                    recent += 1
+                if chunk.fingerprint in seen:
+                    dups += 1
+                seen.append(chunk.fingerprint)
+            return recent / max(1, dups)
+
+        assert recent_fraction(local) > recent_fraction(spread) + 0.3
+
+    def test_determinism(self):
+        a = [c.fingerprint for c in VdbenchStream(seed=42).chunks(200)]
+        b = [c.fingerprint for c in VdbenchStream(seed=42).chunks(200)]
+        assert a == b
+
+    def test_invalid_dials_rejected(self):
+        with pytest.raises(WorkloadError):
+            VdbenchStream(dedup_ratio=0.5)
+        with pytest.raises(WorkloadError):
+            VdbenchStream(comp_ratio=0.0)
+        with pytest.raises(WorkloadError):
+            VdbenchStream(locality=2.0)
+
+
+class TestPatterns:
+    def test_sequential_wraps(self):
+        pattern = SequentialPattern(3)
+        assert [pattern.next_slot() for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_uniform_in_range_and_deterministic(self):
+        a = UniformPattern(100, seed=1)
+        b = UniformPattern(100, seed=1)
+        draws_a = [a.next_slot() for _ in range(50)]
+        draws_b = [b.next_slot() for _ in range(50)]
+        assert draws_a == draws_b
+        assert all(0 <= d < 100 for d in draws_a)
+
+    def test_zipf_skews_to_low_slots(self):
+        pattern = ZipfPattern(1000, skew=1.2, seed=3)
+        draws = [pattern.next_slot() for _ in range(3000)]
+        top_ten = sum(1 for d in draws if d < 10)
+        assert top_ten / len(draws) > 0.3
+
+    def test_zipf_invalid_skew(self):
+        with pytest.raises(WorkloadError):
+            ZipfPattern(10, skew=0.0)
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            SequentialPattern(0)
+
+
+class TestTrace:
+    def test_record_roundtrip_through_text(self):
+        recorder = TraceRecorder()
+        recorder.record("write", 0, 4096, timestamp=1.5)
+        recorder.record("read", 4096, 8192)
+        text = io.StringIO()
+        recorder.dump(text)
+        text.seek(0)
+        loaded = TraceRecorder.load(text)
+        assert list(loaded) == list(recorder)
+
+    def test_total_bytes_by_op(self):
+        recorder = TraceRecorder()
+        recorder.record("write", 0, 100)
+        recorder.record("read", 0, 50)
+        recorder.record("write", 0, 200)
+        assert recorder.total_bytes("write") == 300
+        assert recorder.total_bytes() == 350
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord.from_line("nonsense")
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord("delete", 0, 10)
+
+    def test_comments_and_blanks_skipped(self):
+        loaded = TraceRecorder.load(["# comment", "", "write 0 10"])
+        assert len(loaded) == 1
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["read", "write"]),
+        st.integers(0, 10**9), st.integers(1, 10**6)), max_size=50))
+    @settings(max_examples=30, deadline=None)
+    def test_text_roundtrip_property(self, records):
+        recorder = TraceRecorder()
+        for op, offset, size in records:
+            recorder.record(op, offset, size)
+        text = io.StringIO()
+        recorder.dump(text)
+        text.seek(0)
+        assert list(TraceRecorder.load(text)) == list(recorder)
