@@ -1,0 +1,266 @@
+"""Engine hot-path performance benchmark (``repro bench engine``).
+
+This module measures the simulation substrate itself, not the paper's
+results: the zero-delay run queue, slotted events, the uncontended
+resource fast path, and coalesced CPU charges all exist to make the
+timed experiments cheap to run, and this harness is how we keep them
+honest.  Three scenarios:
+
+* **event_hops** — processes ping-ponging short timeouts; isolates the
+  calendar/step/resume cost per event.
+* **resource_churn** — acquire/hold/release cycles on a contended
+  :class:`~repro.sim.resources.Resource`; isolates the grant path.
+* **e4** — the paper's E4 integration-mode comparison end to end, one
+  wall-clock measurement per mode; the number the acceptance criterion
+  cares about.
+
+Results are written to ``BENCH_engine.json`` next to the working
+directory, together with the pre-optimization baseline measured at the
+seed commit on the reference container, so speedups are visible without
+checking out old trees.  Pass ``profile=True`` (CLI: ``--profile``) to
+wrap the E4 scenario in :mod:`cProfile` and print the top of the
+cumulative-time table.
+
+The baseline constants below are *wall-clock measurements from one
+specific machine*.  Speedup ratios against them are meaningful on that
+class of machine only; the report-identity checksums are meaningful
+everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from typing import Any, Generator, Optional
+
+from repro.core.calibration import run_mode
+from repro.core.modes import IntegrationMode
+from repro.sim import Environment, Resource
+
+#: Wall-clock seconds per E4 mode at 8192 chunks, measured at the seed
+#: commit (pre zero-delay-run-queue / pre coalesced-charge engine).
+BASELINE_E4_SECONDS = {
+    "gpu_both": 1.029,
+    "gpu_dedup": 1.091,
+    "gpu_comp": 0.869,
+    "cpu_only": 0.624,
+}
+
+#: Microbenchmark rates at the seed commit (ops per second).
+BASELINE_EVENT_HOPS_PER_S = 366_656.0
+BASELINE_RESOURCE_ACQ_PER_S = 159_412.0
+
+#: Fields of the E4 reports that must not move when the engine is
+#: optimized, with their golden values (identical pre/post change).
+GOLDEN_E4_FIELDS = {
+    "gpu_both": {
+        "dedup_ratio": 2.0009770395701025,
+        "comp_ratio": 1.9497470820400633,
+        "reduction_ratio": 3.901399144130972,
+        "duration_s": 0.06408814525820505,
+        "mean_latency_s": 0.007539684226371084,
+        "cpu_utilization": 0.8227968879133151,
+        "gpu_utilization": 0.6854035321064682,
+    },
+    "gpu_dedup": {
+        "dedup_ratio": 2.0009770395701025,
+        "comp_ratio": 1.9497470820400633,
+        "reduction_ratio": 3.901399144130972,
+        "duration_s": 0.10365331550625258,
+        "mean_latency_s": 0.012494412981718658,
+        "cpu_utilization": 0.9999235699490805,
+        "gpu_utilization": 0.053685844901740526,
+    },
+    "gpu_comp": {
+        "dedup_ratio": 2.0009770395701025,
+        "comp_ratio": 1.9497470820400633,
+        "reduction_ratio": 3.901399144130972,
+        "duration_s": 0.06228813039690541,
+        "mean_latency_s": 0.007321062741623775,
+        "cpu_utilization": 0.9181410959564286,
+        "gpu_utilization": 0.619874118437775,
+    },
+    "cpu_only": {
+        "dedup_ratio": 2.0009770395701025,
+        "comp_ratio": 1.9497470820400633,
+        "reduction_ratio": 3.901399144130972,
+        "duration_s": 0.10797826408307641,
+        "mean_latency_s": 0.013057429255372807,
+        "cpu_utilization": 0.9999276837067451,
+        "gpu_utilization": 0.0,
+    },
+}
+
+#: Chunk count the golden fields and baseline timings were taken at.
+GOLDEN_E4_CHUNKS = 8192
+
+
+# -- microbenchmarks --------------------------------------------------------
+
+def bench_event_hops(processes: int = 200, hops: int = 500) -> dict:
+    """Timeout ping-pong: pure calendar/step/resume cost per event."""
+    env = Environment()
+
+    def hopper() -> Generator:
+        for _ in range(hops):
+            yield env.timeout(1e-6)
+
+    for _ in range(processes):
+        env.process(hopper())
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    total = processes * hops
+    return {
+        "scenario": "event_hops",
+        "events": total,
+        "seconds": elapsed,
+        "events_per_s": total / elapsed,
+        "baseline_events_per_s": BASELINE_EVENT_HOPS_PER_S,
+        "speedup": (total / elapsed) / BASELINE_EVENT_HOPS_PER_S,
+    }
+
+
+def bench_resource_churn(processes: int = 100, cycles: int = 500,
+                         capacity: int = 8) -> dict:
+    """Contended acquire/hold/release churn on a counted resource."""
+    env = Environment()
+    pool = Resource(env, capacity=capacity, name="churn")
+
+    def churner() -> Generator:
+        for _ in range(cycles):
+            with pool.request() as req:
+                yield req
+                yield env.timeout(1e-6)
+
+    for _ in range(processes):
+        env.process(churner())
+    started = time.perf_counter()
+    env.run()
+    elapsed = time.perf_counter() - started
+    total = processes * cycles
+    return {
+        "scenario": "resource_churn",
+        "acquisitions": total,
+        "seconds": elapsed,
+        "acq_per_s": total / elapsed,
+        "baseline_acq_per_s": BASELINE_RESOURCE_ACQ_PER_S,
+        "speedup": (total / elapsed) / BASELINE_RESOURCE_ACQ_PER_S,
+    }
+
+
+# -- the end-to-end scenario ------------------------------------------------
+
+def bench_e4(chunks: int = GOLDEN_E4_CHUNKS, repeats: int = 3,
+             profile: bool = False) -> dict:
+    """Wall-clock the E4 integration-mode runs; verify golden fields.
+
+    Returns per-mode best-of-``repeats`` timings, speedups against the
+    seed-commit baseline (only meaningful at the golden chunk count),
+    and a ``fields_ok`` flag confirming the reports still carry the
+    golden values — a fast engine that changes the science is a bug,
+    not a win.
+    """
+    profiler = None
+    if profile:
+        import cProfile
+        profiler = cProfile.Profile()
+
+    modes: dict[str, Any] = {}
+    fields_ok = True
+    # Warm-up run so allocator/bytecode caches don't bill the first mode.
+    run_mode(IntegrationMode.all_modes()[0], min(chunks, 2048))
+    for mode in IntegrationMode.all_modes():
+        best: Optional[float] = None
+        report = None
+        for _ in range(repeats):
+            if profiler is not None:
+                profiler.enable()
+            started = time.perf_counter()
+            report = run_mode(mode, chunks)
+            elapsed = time.perf_counter() - started
+            if profiler is not None:
+                profiler.disable()
+            best = elapsed if best is None else min(best, elapsed)
+        entry: dict[str, Any] = {"seconds": best, "chunks": chunks}
+        golden = GOLDEN_E4_FIELDS.get(mode.value)
+        if golden is not None and chunks == GOLDEN_E4_CHUNKS:
+            observed = dataclasses.asdict(report)
+            mismatches = {k: (observed[k], v) for k, v in golden.items()
+                          if observed[k] != v}
+            entry["fields_ok"] = not mismatches
+            if mismatches:
+                entry["mismatches"] = {
+                    k: {"observed": o, "golden": g}
+                    for k, (o, g) in mismatches.items()}
+                fields_ok = False
+            baseline = BASELINE_E4_SECONDS[mode.value]
+            entry["baseline_seconds"] = baseline
+            entry["speedup"] = baseline / best
+        modes[mode.value] = entry
+
+    result: dict[str, Any] = {"scenario": "e4", "modes": modes,
+                              "fields_ok": fields_ok}
+    if chunks == GOLDEN_E4_CHUNKS:
+        total = sum(m["seconds"] for m in modes.values())
+        baseline_total = sum(BASELINE_E4_SECONDS.values())
+        result["total_seconds"] = total
+        result["baseline_total_seconds"] = baseline_total
+        result["aggregate_speedup"] = baseline_total / total
+    if profiler is not None:
+        import io
+        import pstats
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(25)
+        result["profile_top"] = stream.getvalue()
+    return result
+
+
+# -- driver -----------------------------------------------------------------
+
+def run_engine_bench(chunks: int = GOLDEN_E4_CHUNKS,
+                     profile: bool = False,
+                     out_path: Optional[str] = "BENCH_engine.json") -> dict:
+    """Run all scenarios; write ``BENCH_engine.json``; return the dict."""
+    results = {
+        "bench": "engine-hotpath",
+        "chunks": chunks,
+        "event_hops": bench_event_hops(),
+        "resource_churn": bench_resource_churn(),
+        "e4": bench_e4(chunks=chunks, profile=profile),
+    }
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(results, handle, indent=2)
+        results["written_to"] = out_path
+    return results
+
+
+def render_engine_bench(results: dict) -> str:
+    """Human-readable summary of :func:`run_engine_bench` output."""
+    lines = []
+    hops = results["event_hops"]
+    lines.append(f"event hops      {hops['events_per_s']:>12,.0f} ev/s   "
+                 f"({hops['speedup']:.2f}x vs seed baseline)")
+    churn = results["resource_churn"]
+    lines.append(f"resource churn  {churn['acq_per_s']:>12,.0f} acq/s  "
+                 f"({churn['speedup']:.2f}x vs seed baseline)")
+    e4 = results["e4"]
+    for mode, entry in e4["modes"].items():
+        speed = (f"  ({entry['speedup']:.2f}x)"
+                 if "speedup" in entry else "")
+        ok = "" if entry.get("fields_ok", True) else "  FIELDS DRIFTED!"
+        lines.append(f"e4 {mode:<12} {entry['seconds']:>8.3f} s"
+                     f"{speed}{ok}")
+    if "aggregate_speedup" in e4:
+        lines.append(f"e4 aggregate    {e4['total_seconds']:>8.3f} s  "
+                     f"({e4['aggregate_speedup']:.2f}x vs "
+                     f"{e4['baseline_total_seconds']:.3f} s baseline)")
+    if "profile_top" in e4:
+        lines.append("")
+        lines.append(e4["profile_top"])
+    if "written_to" in results:
+        lines.append(f"results written to {results['written_to']}")
+    return "\n".join(lines)

@@ -188,10 +188,20 @@ def _render_result(result) -> None:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.experiments import registry
 
+    if args.experiment == "engine":
+        from repro.bench.perf import render_engine_bench, run_engine_bench
+
+        started = time.time()
+        results = run_engine_bench(profile=args.profile)
+        print(f"=== engine hot-path "
+              f"(wall {time.time() - started:.1f} s) ===")
+        print(render_engine_bench(results))
+        return 0
     experiments = registry()
     if args.experiment == "list":
         for name in experiments:
             print(name)
+        print("engine")
         return 0
     runner = experiments.get(args.experiment)
     if runner is None:
@@ -256,7 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench",
                            help="run one experiment by id (or 'list')")
     bench.add_argument("experiment",
-                       help="experiment id (e1..e5, a1..a14) or 'list'")
+                       help="experiment id (e1..e5, a1..a14), "
+                            "'engine' (simulator hot-path perf), "
+                            "or 'list'")
+    bench.add_argument("--profile", action="store_true",
+                       help="wrap the 'engine' E4 scenario in cProfile")
     bench.set_defaults(func=cmd_bench)
 
     codec = sub.add_parser("codec",

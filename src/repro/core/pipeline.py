@@ -161,9 +161,7 @@ class ReductionPipeline:
         if self._index_batcher is None:
             return False
         decision = self.scheduler.should_offload_index()
-        if not decision:
-            self.gpu_offload_skips = \
-                self.scheduler.stats.skipped_idle_cpu
+        self.gpu_offload_skips = self.scheduler.stats.skipped_idle_cpu
         return decision
 
     def _index_execute(self, cycles: float) -> Generator:
@@ -173,109 +171,125 @@ class ReductionPipeline:
         conventional shared-table baseline serializes here.
         """
         if self._index_lock is None:
-            yield from self.cpu.execute(cycles)
+            yield self.cpu.charge(cycles)
             return
         with self._index_lock.request() as lock:
             yield lock
             yield from self.cpu.execute(cycles)
 
     def _chunk_worker(self, chunk: Chunk, slot) -> Generator:
+        """Per-chunk pipeline process: ingest through commit.
+
+        The whole chunk lifecycle lives in ONE generator frame —
+        a nested ``yield from`` delegate would add a frame hop to
+        every event resume on the hottest path in the simulator.
+        """
         admitted = self.env.now
         try:
-            yield from self._process_chunk(chunk)
+            cfg = self.config
+            costs = self.costs
+            if cfg.enable_dedup:
+                fingerprint_chunk(chunk)
+                # One coalesced charge for ingest (chunk + hash) plus the
+                # stage handoff: a single acquire/hold/release round trip.
+                yield self.cpu.charge(
+                    self.dedup.ingest_cycles(chunk, cfg.content_defined)
+                    + costs.handoff_per_chunk)
+
+                gpu_definitive = False
+                if self._should_offload_index():
+                    hit = yield self._index_batcher.submit(chunk.fingerprint)
+                    if hit:
+                        cycles = self.dedup.note_gpu_hit(chunk)
+                        yield self.cpu.charge(cycles)
+                        return
+                    # An eviction-free GPU index mirrors every flushed entry,
+                    # so its miss proves the fingerprint is not in the tree.
+                    gpu_definitive = self.dedup.gpu_index.evictions == 0
+
+                outcome = self.dedup.cpu_index_partial(chunk) if gpu_definitive \
+                    else self.dedup.cpu_index(chunk)
+                if self._index_lock is None:
+                    yield self.cpu.charge(outcome.cpu_cycles)
+                else:
+                    yield from self._index_execute(outcome.cpu_cycles)
+                if outcome.duplicate:
+                    cycles = self.dedup.commit_duplicate(chunk)
+                    yield self.cpu.charge(cycles)
+                    return
+                # In-flight check: another worker may be compressing this very
+                # content right now.  Wait for its commit, then dedup onto it.
+                pending = self._pending.get(chunk.fingerprint)
+                if pending is not None:
+                    yield pending
+                    self.dedup.counters["pending_hits"] = \
+                        self.dedup.counters.get("pending_hits", 0) + 1
+                    chunk.is_duplicate = True
+                    cycles = self.dedup.commit_duplicate(chunk)
+                    yield self.cpu.charge(cycles)
+                    return
+                # Our index probe ran earlier in simulated time; a twin may
+                # have committed since.  Its fingerprint would be in the bin
+                # buffer *now*, so re-probe before claiming uniqueness.
+                if self.dedup.bin_buffer.lookup(chunk.fingerprint) is not None:
+                    self.dedup.counters["buffer_hits"] += 1
+                    chunk.is_duplicate = True
+                    cycles = self.costs.bin_buffer_probe \
+                        + self.dedup.commit_duplicate(chunk)
+                    if self._index_lock is None:
+                        yield self.cpu.charge(cycles)
+                    else:
+                        yield from self._index_execute(cycles)
+                    return
+                self._pending[chunk.fingerprint] = self.env.event()
+            else:
+                yield self.cpu.charge(
+                    costs.chunking_cycles(chunk.size, cfg.content_defined)
+                    + costs.handoff_per_chunk)
+
+            # -- unique chunk: compression stage --
+            blob: Optional[bytes] = None
+            if cfg.enable_compression:
+                if self._comp_batcher is not None:
+                    raw = yield self._comp_batcher.submit(chunk)
+                    result = self.gpu_comp.postprocess(chunk, raw)
+                else:
+                    result = self.cpu_comp.compress(chunk)
+                yield self.cpu.charge(
+                    result.cpu_cycles + costs.handoff_per_chunk)
+                blob = result.blob
+            else:
+                chunk.compressed_size = chunk.size
+
+            # -- commit --
+            if cfg.enable_dedup:
+                cycles, batch, _unique = self.dedup.commit_unique(chunk, blob)
+                pending = self._pending.pop(chunk.fingerprint, None)
+                if pending is not None:
+                    pending.succeed()
+                if self._index_lock is None:
+                    yield self.cpu.charge(cycles)
+                else:
+                    yield from self._index_execute(cycles)
+                if batch is not None and cfg.destage_enabled:
+                    self._spawn_destage(batch.payload_bytes, sequential=True)
+                    self.destage_batches += 1
+                    self.destage_bytes += batch.payload_bytes
+            else:
+                # Commit + metadata coalesced into one charge.
+                yield self.cpu.charge(
+                    costs.metadata_update + costs.destage_submit)
+                if cfg.destage_enabled:
+                    self._spawn_destage(chunk.compressed_size, sequential=False)
+                    self.destage_batches += 1
+                    self.destage_bytes += chunk.compressed_size
+
         finally:
             self.latency.record(self.env.now - admitted)
             self._window.release(slot)
             self._done += 1
             if self._done == self._total:
                 self._finished.succeed()
-
-    def _process_chunk(self, chunk: Chunk) -> Generator:
-        cfg = self.config
-        costs = self.costs
-        if cfg.enable_dedup:
-            fingerprint_chunk(chunk)
-            yield from self.cpu.execute(
-                self.dedup.ingest_cycles(chunk, cfg.content_defined)
-                + costs.handoff_per_chunk)
-
-            gpu_definitive = False
-            if self._should_offload_index():
-                hit = yield self._index_batcher.submit(chunk.fingerprint)
-                if hit:
-                    cycles = self.dedup.note_gpu_hit(chunk)
-                    yield from self.cpu.execute(cycles)
-                    return
-                # An eviction-free GPU index mirrors every flushed entry,
-                # so its miss proves the fingerprint is not in the tree.
-                gpu_definitive = self.dedup.gpu_index.evictions == 0
-
-            outcome = self.dedup.cpu_index_partial(chunk) if gpu_definitive \
-                else self.dedup.cpu_index(chunk)
-            yield from self._index_execute(outcome.cpu_cycles)
-            if outcome.duplicate:
-                cycles = self.dedup.commit_duplicate(chunk)
-                yield from self.cpu.execute(cycles)
-                return
-            # In-flight check: another worker may be compressing this very
-            # content right now.  Wait for its commit, then dedup onto it.
-            pending = self._pending.get(chunk.fingerprint)
-            if pending is not None:
-                yield pending
-                self.dedup.counters["pending_hits"] = \
-                    self.dedup.counters.get("pending_hits", 0) + 1
-                chunk.is_duplicate = True
-                cycles = self.dedup.commit_duplicate(chunk)
-                yield from self.cpu.execute(cycles)
-                return
-            # Our index probe ran earlier in simulated time; a twin may
-            # have committed since.  Its fingerprint would be in the bin
-            # buffer *now*, so re-probe before claiming uniqueness.
-            if self.dedup.bin_buffer.lookup(chunk.fingerprint) is not None:
-                self.dedup.counters["buffer_hits"] += 1
-                chunk.is_duplicate = True
-                cycles = self.costs.bin_buffer_probe \
-                    + self.dedup.commit_duplicate(chunk)
-                yield from self._index_execute(cycles)
-                return
-            self._pending[chunk.fingerprint] = self.env.event()
-        else:
-            yield from self.cpu.execute(
-                costs.chunking_cycles(chunk.size, cfg.content_defined)
-                + costs.handoff_per_chunk)
-
-        # -- unique chunk: compression stage --
-        blob: Optional[bytes] = None
-        if cfg.enable_compression:
-            if self._comp_batcher is not None:
-                raw = yield self._comp_batcher.submit(chunk)
-                result = self.gpu_comp.postprocess(chunk, raw)
-            else:
-                result = self.cpu_comp.compress(chunk)
-            yield from self.cpu.execute(
-                result.cpu_cycles + costs.handoff_per_chunk)
-            blob = result.blob
-        else:
-            chunk.compressed_size = chunk.size
-
-        # -- commit --
-        if cfg.enable_dedup:
-            cycles, batch, _unique = self.dedup.commit_unique(chunk, blob)
-            pending = self._pending.pop(chunk.fingerprint, None)
-            if pending is not None:
-                pending.succeed()
-            yield from self._index_execute(cycles)
-            if batch is not None and cfg.destage_enabled:
-                self._spawn_destage(batch.payload_bytes, sequential=True)
-                self.destage_batches += 1
-                self.destage_bytes += batch.payload_bytes
-        else:
-            yield from self.cpu.execute(
-                costs.metadata_update + costs.destage_submit)
-            if cfg.destage_enabled:
-                self._spawn_destage(chunk.compressed_size, sequential=False)
-                self.destage_batches += 1
-                self.destage_bytes += chunk.compressed_size
 
     def _spawn_destage(self, nbytes: int, sequential: bool) -> None:
         if nbytes <= 0:

@@ -9,11 +9,20 @@ the timed components of this library.
 Determinism: given the same process structure, two runs produce identical
 schedules.  Ties in time are broken first by an explicit integer priority
 and then by insertion order, never by object identity.
+
+Hot path: zero-delay events (``succeed()``, process termination,
+``Initialize``) dominate pipeline runs, so they bypass the heap entirely
+and go onto per-priority run queues (plain deques) serviced under the
+same global (time, priority, insertion-order) key as the calendar — see
+DESIGN.md §7 for the invariants.  ``Event``/``Timeout``/``Process`` are
+``__slots__`` classes and ``Timeout`` inlines its scheduling, because
+event allocation is the next-largest cost after heap churn.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -44,6 +53,8 @@ class Event:
     An event starts *pending*; it becomes *triggered* when scheduled with a
     value (or an exception) and *processed* once its callbacks have run.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -80,11 +91,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        env._normal.append((env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -98,6 +111,23 @@ class Event:
         self.env._schedule(self, NORMAL, 0.0)
         return self
 
+    def _trigger_now(self, value: Any = None) -> None:
+        """Trigger successfully and run callbacks synchronously.
+
+        Fast-path internal: skips the calendar entirely, so it is only
+        safe from inside another event's callback chain, where the
+        engine is already dispatching at the current time — the waiter
+        resumes exactly where a zero-delay follow-up event would have
+        resumed it, minus the run-queue hop.
+        """
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        callbacks, self.callbacks = self.callbacks, None
+        for callback in callbacks:
+            callback(self)
+
     def __repr__(self) -> str:
         state = "processed" if self.processed else (
             "triggered" if self.triggered else "pending")
@@ -107,18 +137,31 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after it is created."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Event.__init__ and _schedule are inlined: Timeout creation is
+        # the hottest allocation site in timed pipeline runs.
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._eid += 1
+        if delay == 0.0:
+            env._normal.append((env._eid, self))
+        else:
+            heapq.heappush(env._queue,
+                           (env._now + delay, NORMAL, env._eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a process at its creation time."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
@@ -135,6 +178,8 @@ class Process(Event):
     itself an event that triggers with the generator's return value, so
     processes can wait on other processes.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
@@ -217,6 +262,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
+    __slots__ = ("_events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
@@ -258,6 +305,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Event that fires once *all* of the given events have fired."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= len(self._events)
 
@@ -265,18 +314,37 @@ class AllOf(_Condition):
 class AnyOf(_Condition):
     """Event that fires once *any* of the given events has fired."""
 
+    __slots__ = ()
+
     def _satisfied(self) -> bool:
         return self._count >= 1 or not self._events
 
 
 class Environment:
-    """The simulation environment: clock plus event calendar."""
+    """The simulation environment: clock plus event calendar.
+
+    Two run queues front the heap calendar: events scheduled with zero
+    delay land on ``_urgent`` (priority :data:`URGENT`) or ``_normal``
+    (priority :data:`NORMAL`) and are serviced without any ``heapq``
+    traffic.  Every entry on a run queue carries time ``now`` by
+    construction, so the clock can only advance off the heap once both
+    run queues are empty — :meth:`step` merges the three sources under
+    the exact (time, priority, insertion-order) key the heap alone used
+    to enforce.
+    """
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
+        #: Zero-delay run queues; entries are (eid, event) at time `now`.
+        self._urgent: deque[tuple[int, Event]] = deque()
+        self._normal: deque[tuple[int, Event]] = deque()
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: Optional schedule trace: when set to a list, every processed
+        #: event appends ``(time, event-type-name)`` — the hook the
+        #: golden-schedule determinism tests record through.
+        self._trace: Optional[list] = None
 
     @property
     def now(self) -> float:
@@ -314,22 +382,63 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
+        if delay == 0.0:
+            if priority == NORMAL:
+                self._normal.append((self._eid, event))
+                return
+            if priority == URGENT:
+                self._urgent.append((self._eid, event))
+                return
         heapq.heappush(
             self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        if self._urgent or self._normal:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
+        """Process the single next event.
+
+        The next event is the minimum of the heap head and the two
+        run-queue heads under the (time, priority, insertion-order)
+        key.  Run-queue entries sit at time ``now``, so a heap entry
+        only beats them at that exact time, on (priority, eid).
+        """
+        queue = self._queue
+        entry = None
+        if self._urgent:
+            if queue:
+                head = queue[0]
+                if head[0] == self._now and (
+                        head[1] < URGENT or (head[1] == URGENT
+                                             and head[2] < self._urgent[0][0])):
+                    entry = heapq.heappop(queue)
+            if entry is None:
+                event = self._urgent.popleft()[1]
+        elif self._normal:
+            if queue:
+                head = queue[0]
+                if head[0] == self._now and (
+                        head[1] < NORMAL or (head[1] == NORMAL
+                                             and head[2] < self._normal[0][0])):
+                    entry = heapq.heappop(queue)
+            if entry is None:
+                event = self._normal.popleft()[1]
+        elif queue:
+            entry = heapq.heappop(queue)
+        else:
             raise SimulationError("no scheduled events")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        if when < self._now:
-            raise SimulationError(
-                f"event scheduled in the past: {when} < {self._now}")
-        self._now = when
+        if entry is not None:
+            when = entry[0]
+            if when < self._now:
+                raise SimulationError(
+                    f"event scheduled in the past: {when} < {self._now}")
+            self._now = when
+            event = entry[3]
+        if self._trace is not None:
+            self._trace.append((self._now, type(event).__name__))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -354,13 +463,24 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_time} lies in the past (now={self._now})")
 
-        while self._queue:
-            if stop_event is not None and stop_event.processed:
-                break
-            if self.peek() > stop_time:
-                self._now = stop_time
-                break
-            self.step()
+        step = self.step
+        if stop_time == float("inf"):
+            # Hot loop: no time horizon to watch, so skip peek().
+            if stop_event is None:
+                while self._queue or self._urgent or self._normal:
+                    step()
+            else:
+                while (self._queue or self._urgent or self._normal) \
+                        and stop_event.callbacks is not None:
+                    step()
+        else:
+            while self._queue or self._urgent or self._normal:
+                if stop_event is not None and stop_event.callbacks is None:
+                    break
+                if self.peek() > stop_time:
+                    self._now = stop_time
+                    break
+                step()
 
         if stop_event is not None:
             if not stop_event.triggered:
@@ -369,7 +489,8 @@ class Environment:
             if not stop_event._ok:
                 raise stop_event._value
             return stop_event._value
-        if until is not None and self._now < stop_time and not self._queue:
+        if until is not None and self._now < stop_time \
+                and not (self._queue or self._urgent or self._normal):
             # Calendar drained before the requested horizon: the clock still
             # advances to the horizon so utilization math stays consistent.
             self._now = stop_time

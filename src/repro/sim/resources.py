@@ -31,10 +31,13 @@ class UtilizationMonitor:
 
     def change(self, delta: int) -> None:
         """Record the occupancy changing by ``delta`` at the current time."""
-        now = self._env.now
-        self._area += self._level * (now - self._last_change)
-        self._level += delta
-        self._peak = max(self._peak, self._level)
+        now = self._env._now
+        level = self._level
+        self._area += level * (now - self._last_change)
+        level += delta
+        self._level = level
+        if level > self._peak:
+            self._peak = level
         self._last_change = now
 
     @property
@@ -74,6 +77,8 @@ class Request(Event):
             yield env.timeout(work)
     """
 
+    __slots__ = ("resource", "granted")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.env)
         self.resource = resource
@@ -84,6 +89,10 @@ class Request(Event):
         """Withdraw an ungranted request (no-op if already granted)."""
         if not self.granted:
             self.resource._withdraw(self)
+
+    def _grant(self) -> None:
+        """Fire the grant; subclasses may react without an event."""
+        self.succeed(self)
 
     def __enter__(self) -> "Request":
         return self
@@ -107,12 +116,14 @@ class Resource:
         self.name = name
         self.users: list[Request] = []
         self.queue: deque[Request] = deque()
+        #: Slots held through the anonymous fast path (no Request object).
+        self._fast_held = 0
         self.monitor = UtilizationMonitor(env, capacity)
 
     @property
     def count(self) -> int:
         """Number of slots currently granted."""
-        return len(self.users)
+        return len(self.users) + self._fast_held
 
     def request(self) -> Request:
         """Claim a slot; the returned event fires when the slot is granted."""
@@ -120,12 +131,59 @@ class Resource:
 
     def release(self, request: Request) -> None:
         """Return a granted slot to the pool."""
-        if request not in self.users:
+        try:
+            self.users.remove(request)
+        except ValueError:
             raise ResourceError(
                 f"{self.name}: releasing a request that is not granted")
-        self.users.remove(request)
-        self.monitor.change(-1)
-        self._grant_waiters()
+        queue = self.queue
+        if queue:
+            # Waiters only exist while the pool is full, so exactly one
+            # waiter inherits the slot; occupancy is unchanged and the
+            # monitor needs no update for the handoff.
+            nxt = queue.popleft()
+            self.users.append(nxt)
+            nxt.granted = True
+            nxt._grant()
+        else:
+            self.monitor.change(-1)
+
+    # -- uncontended fast path ---------------------------------------------
+
+    def try_acquire(self) -> bool:
+        """Claim a slot synchronously when nobody waits and one is free.
+
+        This is the allocation-free fast path for the common uncontended
+        acquire: no :class:`Request` object, no grant event, no calendar
+        round-trip.  Returns ``True`` on success, in which case the
+        caller owns one anonymous slot and must hand it back with
+        :meth:`release_acquired` (occupancy accounting is identical to
+        the ``request()`` path).  Returns ``False`` when a waiter queue
+        exists or the pool is exhausted — callers then fall back to
+        ``request()`` so FIFO fairness is preserved.
+        """
+        if not self.queue and len(self.users) + self._fast_held \
+                < self.capacity:
+            self._fast_held += 1
+            self.monitor.change(+1)
+            return True
+        return False
+
+    def release_acquired(self) -> None:
+        """Return a slot taken with :meth:`try_acquire`."""
+        if self._fast_held < 1:
+            raise ResourceError(
+                f"{self.name}: release_acquired without try_acquire")
+        self._fast_held -= 1
+        queue = self.queue
+        if queue:
+            # Slot handoff: net occupancy unchanged (see release()).
+            nxt = queue.popleft()
+            self.users.append(nxt)
+            nxt.granted = True
+            nxt._grant()
+        else:
+            self.monitor.change(-1)
 
     # -- internals ---------------------------------------------------------
 
@@ -140,16 +198,19 @@ class Resource:
             pass
 
     def _grant_waiters(self) -> None:
-        while self.queue and len(self.users) < self.capacity:
+        while self.queue and \
+                len(self.users) + self._fast_held < self.capacity:
             request = self.queue.popleft()
             self.users.append(request)
             request.granted = True
             self.monitor.change(+1)
-            request.succeed(request)
+            request._grant()
 
 
 class PriorityRequest(Request):
     """A resource claim with an explicit priority (lower = sooner)."""
+
+    __slots__ = ("priority",)
 
     def __init__(self, resource: "PriorityResource", priority: int):
         self.priority = priority
@@ -175,6 +236,45 @@ class PriorityResource(Resource):
         """Claim a slot at the given priority."""
         return PriorityRequest(self, priority)
 
+    def try_acquire(self) -> bool:
+        """Uncontended fast path; waiters live on the heap here."""
+        if not self._heap and len(self.users) + self._fast_held \
+                < self.capacity:
+            self._fast_held += 1
+            self.monitor.change(+1)
+            return True
+        return False
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot to the pool."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            raise ResourceError(
+                f"{self.name}: releasing a request that is not granted")
+        if self._heap:
+            # Slot handoff to the best waiter: occupancy unchanged.
+            _priority, _seq, nxt = heapq.heappop(self._heap)
+            self.users.append(nxt)
+            nxt.granted = True
+            nxt._grant()
+        else:
+            self.monitor.change(-1)
+
+    def release_acquired(self) -> None:
+        """Return a slot taken with :meth:`try_acquire`."""
+        if self._fast_held < 1:
+            raise ResourceError(
+                f"{self.name}: release_acquired without try_acquire")
+        self._fast_held -= 1
+        if self._heap:
+            _priority, _seq, nxt = heapq.heappop(self._heap)
+            self.users.append(nxt)
+            nxt.granted = True
+            nxt._grant()
+        else:
+            self.monitor.change(-1)
+
     # -- internals: heap-ordered waiting ----------------------------------------
 
     def _enqueue(self, request: Request) -> None:
@@ -192,15 +292,18 @@ class PriorityResource(Resource):
                 return
 
     def _grant_waiters(self) -> None:
-        while self._heap and len(self.users) < self.capacity:
+        while self._heap and \
+                len(self.users) + self._fast_held < self.capacity:
             _priority, _seq, request = heapq.heappop(self._heap)
             self.users.append(request)
             request.granted = True
             self.monitor.change(+1)
-            request.succeed(request)
+            request._grant()
 
 
 class StorePut(Event):
+    __slots__ = ("item", "_store")
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
@@ -218,6 +321,8 @@ class StorePut(Event):
 
 
 class StoreGet(Event):
+    __slots__ = ("_store",)
+
     def __init__(self, store: "Store"):
         super().__init__(store.env)
         self._store = store

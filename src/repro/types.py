@@ -27,9 +27,13 @@ DEFAULT_CHUNK_SIZE = 4096
 FINGERPRINT_BYTES = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class Chunk:
-    """One unit of deduplication/compression work."""
+    """One unit of deduplication/compression work.
+
+    Slotted: millions of chunks flow through descriptor-mode benchmark
+    runs, and the per-instance ``__dict__`` was measurable overhead.
+    """
 
     #: Logical byte offset of the chunk in its stream.
     offset: int
