@@ -1,0 +1,96 @@
+"""Baseline file support: grandfathered findings with recorded reasons.
+
+The baseline is a committed JSON file listing findings that are known,
+justified, and deliberately kept.  Each entry carries a ``reason`` —
+the review-time justification — and matches findings by the stable
+``(rule, path, key)`` identity, *not* by line number, so unrelated
+edits do not un-grandfather an entry.
+
+``repro lint`` exits non-zero only for findings absent from the
+baseline; stale entries (baselined findings that no longer occur) are
+reported so the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import LintError
+
+_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    key: str
+    reason: str = ""
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return (self.rule, self.path, self.key) == diag.baseline_key()
+
+
+class Baseline:
+    """A set of grandfathered findings loaded from (or saved to) JSON."""
+
+    def __init__(self, entries: tuple[BaselineEntry, ...] = ()):
+        self.entries = entries
+        self._index = {(e.rule, e.path, e.key) for e in entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, diag: Diagnostic) -> bool:
+        return diag.baseline_key() in self._index
+
+    def stale_entries(self, diags: list[Diagnostic]) -> list[BaselineEntry]:
+        """Entries that matched none of the current findings."""
+        seen = {d.baseline_key() for d in diags}
+        return [e for e in self.entries
+                if (e.rule, e.path, e.key) not in seen]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path}: invalid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or raw.get("version") != _VERSION:
+            raise LintError(f"baseline {path}: unsupported format")
+        entries = []
+        for item in raw.get("entries", []):
+            try:
+                entries.append(BaselineEntry(
+                    rule=item["rule"], path=item["path"],
+                    key=item["key"], reason=item.get("reason", "")))
+            except (KeyError, TypeError) as exc:
+                raise LintError(
+                    f"baseline {path}: malformed entry {item!r}") from exc
+        return cls(tuple(entries))
+
+    @classmethod
+    def from_diagnostics(cls, diags: list[Diagnostic],
+                         reason: str = "grandfathered by --write-baseline"
+                         ) -> "Baseline":
+        entries = tuple(sorted(
+            {BaselineEntry(rule=d.rule, path=d.path, key=d.key,
+                           reason=reason) for d in diags},
+            key=lambda e: (e.path, e.rule, e.key)))
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                {"rule": e.rule, "path": e.path, "key": e.key,
+                 "reason": e.reason}
+                for e in self.entries
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")

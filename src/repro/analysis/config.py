@@ -1,0 +1,102 @@
+"""Rule scoping and configuration for ``repro lint``.
+
+One :class:`LintConfig` instance gathers everything rule-specific that
+is *project policy* rather than checker mechanics: which packages the
+determinism rules patrol, which modules are schedule-critical, which
+classes must be slotted, and the import layering contract.  Checkers
+read their scope from here so a test (or a future PR) can re-scope a
+rule without touching its implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _module_matches(module: str, prefixes: tuple[str, ...]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or inside one of them."""
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+@dataclass
+class LintConfig:
+    """Project policy knobs consumed by the checkers."""
+
+    #: Root against which diagnostic paths are reported (the repo root).
+    root: Path = field(default_factory=Path.cwd)
+
+    #: Rule ids to run; ``None`` means every registered rule.
+    rules: tuple[str, ...] | None = None
+
+    # -- determinism (REP101/REP102/REP103/REP104) -------------------------
+    #: Packages whose behaviour feeds simulated schedules and reports:
+    #: wall-clock reads and unseeded RNGs here break run-to-run identity.
+    determinism_scope: tuple[str, ...] = (
+        "repro.sim", "repro.core", "repro.dedup", "repro.compression",
+        "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
+    )
+    #: Modules whose iteration order decides *dispatch* order.  Here even
+    #: dict-view iteration is flagged, because feeding a view into a
+    #: schedule-ordering decision couples the calendar to insertion
+    #: history that refactors silently reorder.
+    schedule_critical: tuple[str, ...] = (
+        "repro.sim.engine", "repro.sim.resources",
+        "repro.core.scheduler", "repro.core.batcher",
+    )
+
+    # -- sim protocol (REP201/REP202/REP203) -------------------------------
+    #: Packages whose generator functions are simulation processes; a
+    #: literal yield there is a protocol violation, not a data stream.
+    process_scope: tuple[str, ...] = (
+        "repro.sim", "repro.core", "repro.cpu", "repro.gpu",
+        "repro.storage",
+    )
+    #: The only package allowed to touch the engine's private scheduling
+    #: API (``_schedule`` / ``_trigger_now``).
+    engine_private_scope: tuple[str, ...] = ("repro.sim",)
+
+    # -- slots coverage (REP301) -------------------------------------------
+    #: Hot-path modules whose classes are allocated by the million; every
+    #: class here must declare ``__slots__`` (DESIGN.md §7).
+    slots_modules: tuple[str, ...] = (
+        "repro.sim.engine", "repro.sim.resources",
+        "repro.types", "repro.cpu.model",
+    )
+
+    # -- layering (REP401) --------------------------------------------------
+    #: package -> the only ``repro.*`` prefixes it may import from.
+    import_allowlist: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "repro.sim": ("repro.errors", "repro.sim"),
+            "repro.analysis": ("repro.errors", "repro.analysis"),
+        })
+    #: (package, forbidden package) pairs.
+    import_denylist: tuple[tuple[str, str], ...] = (
+        ("repro.cpu", "repro.gpu"),
+        ("repro.gpu", "repro.cpu"),
+    )
+    #: Leaf packages: package -> who may import it (besides itself).
+    leaf_packages: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "repro.bench": ("repro.cli", "repro.__main__"),
+            "repro.analysis": ("repro.cli", "repro.__main__"),
+        })
+
+    # -- float-time hygiene (REP501) ---------------------------------------
+    #: Scheduler/pipeline modules where ``==``/``!=`` on simulated-time
+    #: expressions is flagged (accumulated float time is not exact).
+    float_time_scope: tuple[str, ...] = (
+        "repro.sim", "repro.core.pipeline", "repro.core.scheduler",
+        "repro.core.batcher",
+    )
+    #: Attribute/variable names treated as simulated-time expressions.
+    time_names: tuple[str, ...] = (
+        "now", "_now", "deadline", "_deadline", "next_admission",
+    )
+
+    def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:
+        """True when ``module`` falls under one of the scope prefixes."""
+        if module is None:
+            return False
+        return _module_matches(module, prefixes)

@@ -1,0 +1,87 @@
+"""Import-layering rule (REP401).
+
+The dependency contract that keeps the substrate reusable and the
+tests honest:
+
+* ``repro.sim`` is the foundation — it imports nothing from the
+  domain packages (dedup/compression/storage/core/...), only
+  ``repro.errors`` and itself;
+* ``repro.cpu`` and ``repro.gpu`` are sibling substrates — neither
+  imports the other (the scheduler composes them; a direct dependency
+  would hard-wire an offload policy into a device model);
+* ``repro.bench`` and ``repro.analysis`` are leaves — only the CLI may
+  import them, so no library path can accidentally depend on the
+  measurement/lint harness.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.visitors import Checker
+
+
+class LayeringChecker(Checker):
+    """REP401: the import graph must respect the layering contract."""
+
+    rule = "REP401"
+    name = "layering"
+    description = "import crosses a layering boundary"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module is not None \
+            and ctx.module.startswith("repro")
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        module = ctx.module
+        assert module is not None
+        for node, imported in self._imports(ctx):
+            if not imported.startswith("repro."):
+                continue
+            finding = self._violation(module, imported)
+            if finding is not None:
+                yield self.diag(
+                    ctx, node,
+                    f"`{module}` imports `{imported}`: {finding}",
+                    hint="invert the dependency (move shared types "
+                         "down, or compose at the core/cli layer)",
+                    key=f"import:{imported}")
+
+    def _violation(self, module: str, imported: str) -> Optional[str]:
+        config = self.config
+        for package, allowed in config.import_allowlist.items():
+            if self._inside(module, package) \
+                    and not any(self._inside(imported, a)
+                                for a in allowed):
+                return (f"{package} may only import from "
+                        f"{', '.join(allowed)}")
+        for package, forbidden in config.import_denylist:
+            if self._inside(module, package) \
+                    and self._inside(imported, forbidden):
+                return f"{package} must not depend on {forbidden}"
+        for leaf, importers in config.leaf_packages.items():
+            if self._inside(imported, leaf) \
+                    and not self._inside(module, leaf) \
+                    and module not in importers:
+                return (f"{leaf} is a leaf package (importable only "
+                        f"from {', '.join(importers)})")
+        return None
+
+    @staticmethod
+    def _inside(module: str, package: str) -> bool:
+        return module == package or module.startswith(package + ".")
+
+    @staticmethod
+    def _imports(ctx: FileContext) -> Iterator[tuple[ast.AST, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield node, alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = ctx._resolve_from(node)
+                if base is None:
+                    continue
+                yield node, base

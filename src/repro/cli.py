@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's everyday uses:
+Five commands cover the library's everyday uses:
 
 * ``run`` — one timed pipeline run on the simulated testbed;
 * ``calibrate`` — the paper's dummy-I/O mode chooser, with platform knobs;
 * ``evaluate`` — the paper's §4 evaluation at a chosen scale;
 * ``codec`` — compress/decompress a real file with the bundled codecs
-  (round-trip verified), reporting the achieved ratio.
+  (round-trip verified), reporting the achieved ratio;
+* ``lint`` — the project's AST invariant checker (determinism,
+  sim-protocol, slots coverage, layering, float-time hygiene).
 """
 
 from __future__ import annotations
@@ -239,6 +241,55 @@ def cmd_codec(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Default committed baseline of grandfathered lint findings.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the analysis layer is a leaf package and the
+    # other commands must not pay for (or depend on) it.
+    from pathlib import Path
+
+    from repro.analysis import Baseline, LintConfig, all_checkers, run_lint
+    from repro.errors import LintError
+
+    config = LintConfig(root=Path.cwd(),
+                        rules=tuple(args.rules) if args.rules else None)
+    if args.list_rules:
+        for checker in all_checkers(LintConfig()):
+            print(f"{checker.rule}  {checker.name:<32} "
+                  f"{checker.description}")
+        return 0
+
+    paths = [Path(p) for p in (args.paths or ["src/repro"])]
+    baseline = None
+    baseline_path = Path(args.baseline)
+    if not args.no_baseline and not args.write_baseline \
+            and baseline_path.exists():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        report = run_lint(paths, config, baseline=baseline)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        Baseline.from_diagnostics(report.new).save(baseline_path)
+        print(f"wrote {len(report.new)} entry(ies) to {baseline_path}")
+        return 0
+    if args.format == "json":
+        print(report.format_json())
+    else:
+        print(report.format_text())
+    # Stale baseline entries fail the run too: a grandfathered finding
+    # that no longer occurs must be removed, or the baseline rots.
+    return 0 if report.ok and not report.stale_baseline else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -281,6 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
     codec.add_argument("--limit", type=int, default=1 << 20,
                        help="max bytes to read (pure-Python codecs)")
     codec.set_defaults(func=cmd_codec)
+
+    lint = sub.add_parser(
+        "lint", help="AST invariant checker (DESIGN.md §8)")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--rule", action="append", dest="rules",
+                      metavar="RULE",
+                      help="run only this rule id/name (repeatable)")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text")
+    lint.add_argument("--baseline", default=DEFAULT_BASELINE,
+                      help="baseline file of grandfathered findings")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="ignore the baseline (report everything)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="grandfather all current findings into the "
+                           "baseline file")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -12,7 +12,6 @@ on the CPU; misses fall through to the SSD + decode path and then fill.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional
 
 from repro.errors import ConfigError
 

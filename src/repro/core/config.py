@@ -95,6 +95,12 @@ class PipelineConfig:
     #: path, as the paper's operation-throughput numbers do implicitly).
     destage_enabled: bool = True
 
+    # -- diagnostics -------------------------------------------------------
+    #: Run the end-of-run sanitizer (``Environment.finish_check``) after
+    #: the final drain: no live processes, no scheduled events, no held
+    #: resource slots.  Off by default (it is a test/debug aid).
+    finish_check: bool = False
+
     def __post_init__(self) -> None:
         if self.chunk_size <= 0:
             raise ConfigError(f"invalid chunk_size {self.chunk_size}")

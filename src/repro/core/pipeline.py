@@ -347,6 +347,8 @@ class ReductionPipeline:
         # Let stragglers (destage writes, batcher shutdown) settle for
         # reporting, without extending the measured duration.
         self.env.run()
+        if self.config.finish_check:
+            self.env.finish_check()
         return self._report(duration, counters)
 
     def _report(self, duration: float,

@@ -9,7 +9,6 @@ destage/endurance numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 
 @dataclass

@@ -24,7 +24,7 @@ from repro.sim.engine import Timeout
 from repro.sim.resources import Request
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CpuSpec:
     """Static description of a CPU."""
 
@@ -89,6 +89,8 @@ class _ChargeRequest(Request):
 
 class SimCpu:
     """A multi-core CPU as a simulated resource of hardware threads."""
+
+    __slots__ = ("env", "spec", "name", "threads", "cycles_charged")
 
     def __init__(self, env: Environment, spec: CpuSpec = I7_2600K,
                  name: str = "cpu"):

@@ -57,7 +57,8 @@ class GpuBinIndex:
                 f"bin_capacity must be >= 1, got {bin_capacity}")
         self.prefix_bytes = prefix_bytes
         self.bin_capacity = bin_capacity
-        self.policy = policy if policy is not None else RandomReplacement()
+        self.policy = policy if policy is not None \
+            else RandomReplacement(seed=0)
         self.memory = memory
         self.costs = costs
         self._bins: dict[int, _GpuBin] = {}

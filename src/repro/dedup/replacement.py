@@ -35,7 +35,7 @@ class ReplacementPolicy(ABC):
 class RandomReplacement(ReplacementPolicy):
     """The paper's default: evict a uniformly random slot."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, *, seed: int):
         self._rng = random.Random(seed)
 
     def choose_victim(self, bin_id: int, capacity: int) -> int:

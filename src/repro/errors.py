@@ -20,6 +20,14 @@ class ResourceError(SimulationError):
     """Illegal use of a simulated resource (double release, bad capacity...)."""
 
 
+class SanitizerError(SimulationError):
+    """End-of-run sanitizer check failed (leaked slot, live process...)."""
+
+
+class LintError(ReproError):
+    """The static-analysis layer was misused (bad rule id, bad baseline...)."""
+
+
 class GpuError(ReproError):
     """Base class for errors in the simulated GPU substrate."""
 

@@ -25,7 +25,7 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
-from repro.errors import SimulationError
+from repro.errors import SanitizerError, SimulationError
 
 #: Default scheduling priority.  Lower values fire earlier at equal times.
 NORMAL = 1
@@ -188,6 +188,7 @@ class Process(Event):
                 "process function?")
         super().__init__(env)
         self._generator = generator
+        env._alive_processes += 1
         self._target: Optional[Event] = Initialize(env, self)
 
     @property
@@ -230,12 +231,14 @@ class Process(Event):
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
+                self.env._alive_processes -= 1
                 self.env._schedule(self, NORMAL, 0.0)
                 break
             except BaseException as exc:
                 self._ok = False
                 self._value = exc
                 self._defused = False
+                self.env._alive_processes -= 1
                 self.env._schedule(self, NORMAL, 0.0)
                 break
 
@@ -333,6 +336,10 @@ class Environment:
     to enforce.
     """
 
+    __slots__ = ("_now", "_queue", "_urgent", "_normal", "_eid",
+                 "_active_process", "_trace", "_finishables",
+                 "_alive_processes")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -345,6 +352,10 @@ class Environment:
         #: event appends ``(time, event-type-name)`` — the hook the
         #: golden-schedule determinism tests record through.
         self._trace: Optional[list] = None
+        #: Objects (resources, stores) that can report end-of-run leaks.
+        self._finishables: list = []
+        #: Live process count, maintained by Process itself.
+        self._alive_processes = 0
 
     @property
     def now(self) -> float:
@@ -355,6 +366,44 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
         return self._active_process
+
+    # -- end-of-run sanitizer ----------------------------------------------
+
+    def register_finishable(self, obj: Any) -> None:
+        """Enroll ``obj`` in :meth:`finish_check`.
+
+        ``obj`` must expose ``finish_violations() -> list[str]``
+        returning a description of every leak it still holds (occupied
+        slots, parked waiters, ...).  Resources and stores register
+        themselves at construction.
+        """
+        self._finishables.append(obj)
+
+    def finish_check(self) -> None:
+        """Assert the simulation wound down cleanly.
+
+        Raises :class:`~repro.errors.SanitizerError` if, after the run,
+        any process is still alive, any event is still scheduled, or a
+        registered resource reports leaked state.  Call it after a full
+        drain (``run(until=None)``); a horizon-limited run legitimately
+        leaves work pending.
+        """
+        problems: list[str] = []
+        if self._alive_processes:
+            problems.append(
+                f"{self._alive_processes} process(es) still alive "
+                f"(generator never finished)")
+        pending = len(self._queue) + len(self._urgent) + len(self._normal)
+        if pending:
+            problems.append(
+                f"{pending} event(s) still scheduled on the calendar")
+        for obj in self._finishables:
+            for violation in obj.finish_violations():
+                problems.append(violation)
+        if problems:
+            detail = "; ".join(problems)
+            raise SanitizerError(
+                f"finish_check failed at t={self._now}: {detail}")
 
     # -- event factories --------------------------------------------------
 
@@ -411,7 +460,9 @@ class Environment:
         if self._urgent:
             if queue:
                 head = queue[0]
-                if head[0] == self._now and (
+                # Exact tie check is sound: run-queue entries carry the
+                # very `now` the heap timestamps are compared against.
+                if head[0] == self._now and (  # repro-lint: disable=REP501
                         head[1] < URGENT or (head[1] == URGENT
                                              and head[2] < self._urgent[0][0])):
                     entry = heapq.heappop(queue)
@@ -420,7 +471,7 @@ class Environment:
         elif self._normal:
             if queue:
                 head = queue[0]
-                if head[0] == self._now and (
+                if head[0] == self._now and (  # repro-lint: disable=REP501
                         head[1] < NORMAL or (head[1] == NORMAL
                                              and head[2] < self._normal[0][0])):
                     entry = heapq.heappop(queue)

@@ -20,6 +20,9 @@ from repro.sim.engine import Environment, Event
 class UtilizationMonitor:
     """Time-weighted occupancy accounting for a counted resource."""
 
+    __slots__ = ("_env", "_capacity", "_level", "_last_change", "_area",
+                 "_peak", "_start")
+
     def __init__(self, env: Environment, capacity: int):
         self._env = env
         self._capacity = capacity
@@ -107,6 +110,9 @@ class Request(Event):
 class Resource:
     """A counted FIFO resource (e.g. N identical CPU hardware threads)."""
 
+    __slots__ = ("env", "capacity", "name", "users", "queue",
+                 "_fast_held", "monitor")
+
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = "resource"):
         if capacity < 1:
@@ -119,6 +125,7 @@ class Resource:
         #: Slots held through the anonymous fast path (no Request object).
         self._fast_held = 0
         self.monitor = UtilizationMonitor(env, capacity)
+        env.register_finishable(self)
 
     @property
     def count(self) -> int:
@@ -185,6 +192,26 @@ class Resource:
         else:
             self.monitor.change(-1)
 
+    # -- end-of-run sanitizer ----------------------------------------------
+
+    def _waiting(self) -> int:
+        return len(self.queue)
+
+    def finish_violations(self) -> list[str]:
+        """Leaks still held at end of run, for ``Environment.finish_check``."""
+        out: list[str] = []
+        held = len(self.users) + self._fast_held
+        if held:
+            out.append(
+                f"resource `{self.name}`: {held} slot(s) still held "
+                f"({self._fast_held} anonymous via try_acquire)")
+        waiting = self._waiting()
+        if waiting:
+            out.append(
+                f"resource `{self.name}`: {waiting} request(s) still "
+                f"waiting for a slot")
+        return out
+
     # -- internals ---------------------------------------------------------
 
     def _enqueue(self, request: Request) -> None:
@@ -225,6 +252,8 @@ class PriorityResource(Resource):
     compression batches (work already *running* is never preempted —
     real devices don't preempt kernels either).
     """
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self, env: Environment, capacity: int = 1,
                  name: str = "priority-resource"):
@@ -274,6 +303,9 @@ class PriorityResource(Resource):
             nxt._grant()
         else:
             self.monitor.change(-1)
+
+    def _waiting(self) -> int:
+        return len(self._heap)
 
     # -- internals: heap-ordered waiting ----------------------------------------
 
@@ -344,6 +376,9 @@ class StoreGet(Event):
 class Store:
     """A FIFO item queue with optional capacity, linking pipeline stages."""
 
+    __slots__ = ("env", "capacity", "name", "items", "_put_queue",
+                 "_get_queue", "peak_items")
+
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  name: str = "store"):
         if capacity <= 0:
@@ -356,6 +391,7 @@ class Store:
         self._get_queue: deque[StoreGet] = deque()
         #: Peak number of buffered items, for backpressure diagnostics.
         self.peak_items = 0
+        env.register_finishable(self)
 
     def put(self, item: Any) -> StorePut:
         """Offer ``item``; the event fires once the store has room."""
@@ -369,6 +405,17 @@ class Store:
     def level(self) -> int:
         """Number of items currently buffered."""
         return len(self.items)
+
+    def finish_violations(self) -> list[str]:
+        """Parked waiters at end of run (buffered items are legitimate)."""
+        out: list[str] = []
+        if self._put_queue:
+            out.append(f"store `{self.name}`: {len(self._put_queue)} "
+                       f"put(s) never accepted")
+        if self._get_queue:
+            out.append(f"store `{self.name}`: {len(self._get_queue)} "
+                       f"get(s) never satisfied")
+        return out
 
     def _dispatch(self) -> None:
         progressed = True

@@ -52,7 +52,7 @@ def measured_ratio(block: bytes) -> float:
 class BlockContentGenerator:
     """Deterministic generator of blocks with a target compression ratio."""
 
-    def __init__(self, target_ratio: float, seed: int = 0,
+    def __init__(self, target_ratio: float, *, seed: int,
                  granule: int = 64):
         if granule < 8:
             raise WorkloadError(f"granule too small: {granule}")

@@ -43,7 +43,7 @@ class SequentialPattern(AccessPattern):
 class UniformPattern(AccessPattern):
     """Independent uniform draws."""
 
-    def __init__(self, n_slots: int, seed: int = 0):
+    def __init__(self, n_slots: int, *, seed: int):
         super().__init__(n_slots)
         self._rng = random.Random(seed)
 
@@ -58,7 +58,7 @@ class ZipfPattern(AccessPattern):
     a hot working set gets most of the accesses.
     """
 
-    def __init__(self, n_slots: int, skew: float = 1.0, seed: int = 0):
+    def __init__(self, n_slots: int, skew: float = 1.0, *, seed: int):
         super().__init__(n_slots)
         if skew <= 0:
             raise WorkloadError(f"skew must be positive, got {skew}")

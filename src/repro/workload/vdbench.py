@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator
 
 from repro.errors import WorkloadError
 from repro.types import Chunk, DEFAULT_CHUNK_SIZE
@@ -71,7 +71,8 @@ class VdbenchStream:
             raise WorkloadError(f"locality must be in [0, 1], "
                                 f"got {locality}")
         if working_set < 1:
-            raise WorkloadError(f"working_set must be >= 1")
+            raise WorkloadError(
+                f"working_set must be >= 1, got {working_set}")
         self.dedup_ratio = dedup_ratio
         self.comp_ratio = comp_ratio
         self.chunk_size = chunk_size

@@ -1,0 +1,13 @@
+# repro-lint: module=repro.sim.fakeclock
+"""Fixture: REP101 — wall-clock reads in simulation-scoped code."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # expect REP101 on this line (9)
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # expect REP101 on this line (13)

@@ -1,0 +1,16 @@
+# repro-lint: module=repro.core.fakerng
+"""Fixture: REP102 — ambient/unseeded randomness."""
+
+import random
+
+
+def jitter() -> float:
+    return random.random()  # expect REP102 on this line (8)
+
+
+def make_rng() -> random.Random:
+    return random.Random()  # expect REP102 on this line (12)
+
+
+def seeded_is_fine() -> random.Random:
+    return random.Random(42)

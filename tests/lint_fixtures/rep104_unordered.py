@@ -1,0 +1,16 @@
+# repro-lint: module=repro.core.scheduler.fixture
+"""Fixture: REP104 — hash-order iteration feeding schedule decisions."""
+
+
+def dispatch_order(batches: dict) -> list:
+    ready = {"index", "compress", "destage"}
+    order = []
+    for task in ready:  # expect REP104 on this line (8)
+        order.append(task)
+    for batch in batches.values():  # expect REP104 on this line (10)
+        order.append(batch)
+    first = min({"a", "b"})  # expect REP104 on this line (12)
+    order.append(first)
+    for batch in sorted(batches.values()):  # sorted() is exempt
+        order.append(batch)
+    return order

@@ -1,0 +1,21 @@
+# repro-lint: module=repro.core.fakepool
+"""Fixture: REP202 — try_acquire without release_acquired."""
+
+
+class LeakyWorker:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def grab(self) -> bool:
+        return self.pool.try_acquire()  # expect REP202 on this line (10)
+
+
+class PairedWorker:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def grab(self) -> bool:
+        return self.pool.try_acquire()
+
+    def done(self) -> None:
+        self.pool.release_acquired()

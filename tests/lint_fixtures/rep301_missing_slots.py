@@ -1,0 +1,25 @@
+# repro-lint: module=repro.cpu.model.fixture
+"""Fixture: REP301 — hot-path class without __slots__."""
+
+from dataclasses import dataclass
+
+
+class HotPathThing:  # expect REP301 on this line (7)
+    def __init__(self, value):
+        self.value = value
+
+
+class SlottedIsFine:
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+@dataclass(slots=True)
+class SlottedDataclassIsFine:
+    value: int
+
+
+class FixtureError(Exception):
+    """Exceptions are exempt."""

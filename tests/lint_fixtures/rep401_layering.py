@@ -1,0 +1,7 @@
+# repro-lint: module=repro.sim.fakeio
+"""Fixture: REP401 — the substrate importing a domain package."""
+
+from repro.dedup import bins  # expect REP401 on this line (4)
+from repro.errors import SimulationError  # allowed
+
+__all__ = ["bins", "SimulationError"]

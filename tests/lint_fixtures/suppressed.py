@@ -1,0 +1,8 @@
+# repro-lint: module=repro.sim.fakesuppressed
+"""Fixture: inline suppression silences a finding."""
+
+import time
+
+
+def profiled_stamp() -> float:
+    return time.time()  # repro-lint: disable=REP101

@@ -23,7 +23,9 @@ from repro.workload.vdbench import VdbenchStream
 
 def _traced_run(mode: IntegrationMode, n_chunks: int, seed: int):
     """One pipeline run with the engine's dispatch-trace hook armed."""
-    config = PipelineConfig().with_overrides(mode=mode)
+    # finish_check: every traced run must also wind down cleanly (no
+    # live processes, scheduled events, or held slots left behind).
+    config = PipelineConfig().with_overrides(mode=mode, finish_check=True)
     env = Environment()
     trace: list = []
     env._trace = trace

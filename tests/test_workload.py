@@ -46,11 +46,11 @@ class TestBlockContentGenerator:
 
     def test_invalid_ratio_rejected(self):
         with pytest.raises(WorkloadError):
-            BlockContentGenerator(0.5)
+            BlockContentGenerator(0.5, seed=0)
 
     def test_invalid_size_rejected(self):
         with pytest.raises(WorkloadError):
-            BlockContentGenerator(2.0).make_block(0)
+            BlockContentGenerator(2.0, seed=0).make_block(0)
 
 
 class TestVdbenchStream:
@@ -162,7 +162,7 @@ class TestPatterns:
 
     def test_zipf_invalid_skew(self):
         with pytest.raises(WorkloadError):
-            ZipfPattern(10, skew=0.0)
+            ZipfPattern(10, skew=0.0, seed=0)
 
     def test_empty_pattern_rejected(self):
         with pytest.raises(WorkloadError):
