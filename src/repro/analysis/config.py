@@ -95,6 +95,14 @@ class LintConfig:
         "now", "_now", "deadline", "_deadline", "next_admission",
     )
 
+    # -- data-plane hot loops (REP502) -------------------------------------
+    #: Packages whose inner loops touch payload bytes; a per-byte
+    #: ``data[a+i] == data[b+i]`` match-extension loop there regresses
+    #: the fast path (DESIGN.md §9).
+    dataplane_scope: tuple[str, ...] = (
+        "repro.compression", "repro.gpu.kernels",
+    )
+
     def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:
         """True when ``module`` falls under one of the scope prefixes."""
         if module is None:

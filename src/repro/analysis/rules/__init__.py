@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig
+from repro.analysis.rules.dataplane import ByteLoopMatchExtensionChecker
 from repro.analysis.rules.determinism import (
     DefaultSeedChecker,
     UnorderedIterationChecker,
@@ -32,6 +33,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     SlotsCoverageChecker,      # REP301
     LayeringChecker,           # REP401
     FloatTimeEqualityChecker,  # REP501
+    ByteLoopMatchExtensionChecker,  # REP502
 )
 
 

@@ -1,0 +1,537 @@
+"""Data-plane hot-loop benchmark (``repro bench dataplane``).
+
+The engine bench (:mod:`repro.bench.perf`) watches the *timed* substrate;
+this module watches the *functional* data plane — the pure-Python loops
+that actually touch payload bytes: ``QuickLzCodec.encode``, the LZSS
+:class:`~repro.compression.lzss.MatchFinder`, the GPU segment kernel's
+match search, and both decoders.  The fast-path PR that vectorized those
+loops (shared 3-byte hash array, slice-doubling match extension, slice
+copy-out, fingerprint-keyed codec memo) is held to two promises:
+
+1. **Identity** — every encoded stream is byte-identical to the pre-PR
+   reference encoders, and the payload experiments' report fields
+   (A7 segment sweep, E4 integration battery) carry the exact golden
+   values captured before the change.  Always checked; timing-free.
+2. **Speed** — encode throughput on the 4 KiB mixed corpus is >= 2x the
+   pinned pre-PR baseline.  Wall-clock thresholds are only meaningful on
+   the reference container, so the gate in
+   ``benchmarks/test_p2_dataplane.py`` enforces them behind
+   ``REPRO_PERF_TIMING=1``; timings are always *measured* and written to
+   ``BENCH_dataplane.json``.
+
+Scenarios (``--quick`` trims repeats and skips the E4 field check):
+
+* **hash_array** — rolling 3-byte key precomputation over the corpus;
+* **match_finder** — insert + longest_match greedy parse per block;
+* **encode** — QuickLZ and LZSS container encode (the acceptance number);
+* **decode** — both decoders over the corpus streams;
+* **gpu_segments** — segment-parallel kernel + CPU seam refinement;
+* **memo** — duplicate-heavy stream through a memoized CpuCompressor;
+* **golden** — stream digests + A7/E4 field identity.
+
+The baseline constants below are *wall-clock measurements from one
+specific machine at the pre-fast-path commit*.  Speedups against them
+are meaningful on that class of machine only; the identity checks are
+meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from typing import Any, Callable, Optional
+
+from repro.compression import lz_common
+from repro.compression.lz_common import key3_array
+from repro.compression.lzss import LzssCodec, MatchFinder
+from repro.compression.memo import CodecMemo
+from repro.compression.parallel_cpu import CpuCompressor
+from repro.compression.postprocess import refine_to_container
+from repro.compression.quicklz import QuickLzCodec
+from repro.gpu.kernels.lz import SegmentLzKernel
+from repro.types import Chunk
+from repro.workload.datagen import BlockContentGenerator
+
+#: Pre-fast-path wall-clock baselines (reference container, best-of-5).
+#: ``encode`` is the acceptance-criterion number: corpus MB/s summed over
+#: the QuickLZ and LZSS passes.
+BASELINE_MB_S = {
+    "encode_quicklz": 3.835,
+    "encode_lzss": 0.937,
+    "encode": 1.506,
+    "decode_quicklz": 13.970,
+    "decode_lzss": 3.397,
+    "gpu_segments": 0.388,
+}
+#: Pre-fast-path rates for the non-byte-throughput scenarios.  The
+#: hash-array baseline is the per-position ``data[i]<<16|...`` loop the
+#: match finders ran before the shared key array existed.
+BASELINE_HASH_KEYS_PER_S = 7_158_732.0
+BASELINE_MATCH_POSITIONS_PER_S = 1_144_612.0
+
+#: The PR's acceptance bar on the reference machine.
+REQUIRED_ENCODE_SPEEDUP = 2.0
+
+#: sha256 digests of every (producer, block) encoded stream, captured at
+#: the pre-fast-path commit.  The fast path must reproduce these exactly.
+GOLDEN_STREAM_DIGESTS: dict[str, dict[str, str]] = {
+    "zeros": {
+        "quicklz": "5159a909342ba1311c7106b0efccf46ce7fef01724cc0d7c956b98848ddbf8d1",
+        "lzss": "e504bd59753b3fbdcdc1e9525cef129bebd221610cf7da5f993c22088de24a79",
+        "lzss_lazy": "e504bd59753b3fbdcdc1e9525cef129bebd221610cf7da5f993c22088de24a79",
+        "gpu8": "cd7b96f56b626dd0fc82f159847bd6518ac4b3b0f05fe20bbd3139cda5763b4d",
+    },
+    "period3": {
+        "quicklz": "f2a1ebf69a6f6300fc7f82ac4185e79bdc690bb09a1346f7c986d9e6c46290c1",
+        "lzss": "a1dd0959e343646fa8ef322f19609a4cd5e1fee6e298cc77b93eb22df16cdf87",
+        "lzss_lazy": "a1dd0959e343646fa8ef322f19609a4cd5e1fee6e298cc77b93eb22df16cdf87",
+        "gpu8": "9ac5fc6bc68d82a09218131b04c87c600b803318066954b4c8c59bb1c1c6279e",
+    },
+    "text": {
+        "quicklz": "df772eddc83433fa22d04721744eb0be35ab9f1a3d00c056fd08fadaf318cd4f",
+        "lzss": "3a53755be6300f000ceb408187c5ec9df58198111125196065c53c2db3fb48cf",
+        "lzss_lazy": "04ca4c199ada2ee627aa284eb59b8b1206489340e13a2d22957b7461b914992f",
+        "gpu8": "ff5b7050310823a239cd7b1fd158f69ed70cd23d2a202c341b9a857e13e10847",
+    },
+    "random": {
+        "quicklz": "76230b3ce5b6bd87742175fc7fc54a7ca545b8e9d59ed35b6be916ced8727466",
+        "lzss": "76230b3ce5b6bd87742175fc7fc54a7ca545b8e9d59ed35b6be916ced8727466",
+        "lzss_lazy": "76230b3ce5b6bd87742175fc7fc54a7ca545b8e9d59ed35b6be916ced8727466",
+        "gpu8": "76230b3ce5b6bd87742175fc7fc54a7ca545b8e9d59ed35b6be916ced8727466",
+    },
+    "ratio2_0": {
+        "quicklz": "b29f034a099dcc59045633245eca26f1815e622960f7f8b7d9171c8eb9ae404a",
+        "lzss": "74637f39e25e7f5e385a92027ecaee045fc4e66fa10f6225dc069ea6562fa02a",
+        "lzss_lazy": "74637f39e25e7f5e385a92027ecaee045fc4e66fa10f6225dc069ea6562fa02a",
+        "gpu8": "89e6e7aa23a4e34b8d0a6dc19421dcfdeadc3bb6c5b337f400dcb7410b3907fb",
+    },
+    "ratio2_1": {
+        "quicklz": "85c16cf73804dc7056d503c7308826fe95bee8234c1d9d671da07ab5635fce87",
+        "lzss": "60d3e3afe59c6677edcaf41d22624240cc51c1090f4976803f1c14774f7b5f49",
+        "lzss_lazy": "60d3e3afe59c6677edcaf41d22624240cc51c1090f4976803f1c14774f7b5f49",
+        "gpu8": "e14fc72e4e42281477b4a36344b13412c7fd2eeda88f274adcdff63e36c1694d",
+    },
+    "ratio2_2": {
+        "quicklz": "241ce41fce375af9172a8878f28542c431e1fcad73f2ee088bce9580481eda6a",
+        "lzss": "6752980b6efd59c2b406c26f141d067bbb27f96b78c791dc972387328472dafd",
+        "lzss_lazy": "6752980b6efd59c2b406c26f141d067bbb27f96b78c791dc972387328472dafd",
+        "gpu8": "77ff94fb947edf565064fca2aa5fb71d8798b3eb5b8a41f0233cfac5d3070280",
+    },
+    "ratio2_3": {
+        "quicklz": "91824166c4a9fddef08f17b32d876ba25cc5c4ab73863ed561a2dc95bd4a0e0b",
+        "lzss": "9f9b2db9cc81c80e69b7570df6daed59dab1711f658f175b7bf280b137e7362d",
+        "lzss_lazy": "9f9b2db9cc81c80e69b7570df6daed59dab1711f658f175b7bf280b137e7362d",
+        "gpu8": "9f9b2db9cc81c80e69b7570df6daed59dab1711f658f175b7bf280b137e7362d",
+    },
+    "seam512": {
+        "quicklz": "61eadc51696f37454ea6b76d07391c2ce229442e70401956739ed7510de0c56f",
+        "lzss": "19def9d76476c324003368c02937722a58c12277c251f964d1cc3dc811e1f431",
+        "lzss_lazy": "19def9d76476c324003368c02937722a58c12277c251f964d1cc3dc811e1f431",
+        "gpu8": "4cb887f2ecc2f172e4414497bdaf390b445da9e51038f6c3362977f8705b63e5",
+    },
+    "tail2": {
+        "quicklz": "ba3b9ef01dfe02c6f803ca7227cf069c4370e810c6b69e461d807fd9d58121fc",
+        "lzss": "ba3b9ef01dfe02c6f803ca7227cf069c4370e810c6b69e461d807fd9d58121fc",
+        "lzss_lazy": "ba3b9ef01dfe02c6f803ca7227cf069c4370e810c6b69e461d807fd9d58121fc",
+        "gpu8": "ba3b9ef01dfe02c6f803ca7227cf069c4370e810c6b69e461d807fd9d58121fc",
+    },
+    "tail1": {
+        "quicklz": "12c6979e95ed1aed3c86f6cf9fb5c017d8a4fd69438b1d6c4679ce26b5d3e918",
+        "lzss": "12c6979e95ed1aed3c86f6cf9fb5c017d8a4fd69438b1d6c4679ce26b5d3e918",
+        "lzss_lazy": "12c6979e95ed1aed3c86f6cf9fb5c017d8a4fd69438b1d6c4679ce26b5d3e918",
+        "gpu8": "12c6979e95ed1aed3c86f6cf9fb5c017d8a4fd69438b1d6c4679ce26b5d3e918",
+    },
+}
+
+#: Exact A7 segment-sweep fields at the pre-fast-path commit
+#: (segments -> (ratio, ratio_loss_vs_serial)).  The kernel cost model is
+#: untouched by the fast path, so the critical-path column is not pinned.
+GOLDEN_A7_FIELDS: dict[int, tuple[float, float]] = {
+    1: (2.128713728886964, 0.0),
+    2: (2.128713728886964, 0.0),
+    4: (2.125399982703451, 0.0015566894404565046),
+    8: (2.123746975458002, 0.00233321811268572),
+    16: (2.1220965374320007, 0.0031085398497538996),
+}
+
+
+# -- corpus -----------------------------------------------------------------
+
+def build_corpus() -> list[tuple[str, bytes]]:
+    """The deterministic 4 KiB mixed corpus (plus adversarial tails).
+
+    Fixed forever: the golden digests above are digests of *encodings of
+    these exact bytes*.  Blocks cover the codec edge cases — all-zero
+    runs, period-3 repeats, natural text, incompressible randomness,
+    calibrated ratio-2.0 storage blocks, a seam-periodic block whose
+    repeats straddle GPU segment boundaries, and sub-``min_match`` tails.
+    """
+    blocks: list[tuple[str, bytes]] = []
+    blocks.append(("zeros", b"\x00" * 4096))
+    blocks.append(("period3", (b"abc" * 1366)[:4096]))
+    text = b"the quick brown fox jumps over the lazy dog. "
+    blocks.append(("text", (text * 92)[:4096]))
+    rng = random.Random(20170905)
+    blocks.append(("random", bytes(rng.randrange(256)
+                                   for _ in range(4096))))
+    generator = BlockContentGenerator(2.0, seed=3)
+    generator.calibrate()
+    for salt in range(4):
+        blocks.append((f"ratio2_{salt}",
+                       generator.make_block(4096, salt=salt)))
+    # Every 512-byte segment identical: matches reach backward across
+    # the seams of an 8-segment GPU parse.
+    seam_base = bytes(rng.randrange(256) for _ in range(512))
+    blocks.append(("seam512", seam_base * 8))
+    blocks.append(("tail2", b"ab"))
+    blocks.append(("tail1", b"\xff"))
+    return blocks
+
+
+def duplicate_stream(copies: int = 8) -> list[bytes]:
+    """A duplicate-heavy block stream (memo scenario's input)."""
+    unique = [payload for _, payload in build_corpus()
+              if len(payload) == 4096][:4]
+    return unique * copies
+
+
+# -- timing helper ----------------------------------------------------------
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+# -- scenarios --------------------------------------------------------------
+
+def bench_hash_array(repeats: int = 5) -> dict:
+    """Rolling 3-byte key precomputation over the corpus.
+
+    Measures the *compute* path: the content-keyed array cache is cleared
+    before every pass, otherwise every repeat after the first would just
+    time a dict hit.
+    """
+    payloads = [p for _, p in build_corpus()]
+    total_keys = sum(max(0, len(p) - 2) for p in payloads)
+
+    def run() -> None:
+        lz_common._KEY3_CACHE.clear()
+        for payload in payloads:
+            key3_array(payload)
+
+    seconds = _best_of(run, repeats)
+    rate = total_keys / seconds
+    result = {"scenario": "hash_array", "keys": total_keys,
+              "seconds": seconds, "keys_per_s": rate}
+    if BASELINE_HASH_KEYS_PER_S:
+        result["baseline_keys_per_s"] = BASELINE_HASH_KEYS_PER_S
+        result["speedup"] = rate / BASELINE_HASH_KEYS_PER_S
+    return result
+
+
+def bench_match_finder(repeats: int = 3) -> dict:
+    """Greedy insert + longest_match parse of every corpus block."""
+    payloads = [p for _, p in build_corpus()]
+    total_positions = sum(len(p) for p in payloads)
+
+    def run() -> None:
+        for payload in payloads:
+            finder = MatchFinder(payload)
+            pos = 0
+            n = len(payload)
+            while pos < n:
+                match = finder.longest_match(pos)
+                if match is not None:
+                    for offset in range(match.length):
+                        finder.insert(pos + offset)
+                    pos += match.length
+                else:
+                    finder.insert(pos)
+                    pos += 1
+
+    seconds = _best_of(run, repeats)
+    rate = total_positions / seconds
+    result = {"scenario": "match_finder", "positions": total_positions,
+              "seconds": seconds, "positions_per_s": rate}
+    if BASELINE_MATCH_POSITIONS_PER_S:
+        result["baseline_positions_per_s"] = BASELINE_MATCH_POSITIONS_PER_S
+        result["speedup"] = rate / BASELINE_MATCH_POSITIONS_PER_S
+    return result
+
+
+def _mb_s_entry(name: str, nbytes: int, seconds: float) -> dict:
+    rate = nbytes / seconds / 1e6
+    entry = {"bytes": nbytes, "seconds": seconds, "mb_per_s": rate}
+    baseline = BASELINE_MB_S.get(name)
+    if baseline:
+        entry["baseline_mb_per_s"] = baseline
+        entry["speedup"] = rate / baseline
+    return entry
+
+
+def bench_encode(repeats: int = 5) -> dict:
+    """QuickLZ + LZSS encode throughput — the acceptance number."""
+    payloads = [p for _, p in build_corpus()]
+    nbytes = sum(len(p) for p in payloads)
+    quicklz, lzss = QuickLzCodec(), LzssCodec()
+
+    q_seconds = _best_of(
+        lambda: [quicklz.encode(p) for p in payloads], repeats)
+    l_seconds = _best_of(
+        lambda: [lzss.encode(p) for p in payloads], repeats)
+    result = {
+        "scenario": "encode",
+        "quicklz": _mb_s_entry("encode_quicklz", nbytes, q_seconds),
+        "lzss": _mb_s_entry("encode_lzss", nbytes, l_seconds),
+    }
+    combined = _mb_s_entry("encode", 2 * nbytes, q_seconds + l_seconds)
+    result["combined"] = combined
+    return result
+
+
+def bench_decode(repeats: int = 5) -> dict:
+    """Decode throughput over the corpus streams (both decoders)."""
+    payloads = [p for _, p in build_corpus()]
+    nbytes = sum(len(p) for p in payloads)
+    quicklz, lzss = QuickLzCodec(), LzssCodec()
+    q_blobs = [quicklz.encode(p) for p in payloads]
+    l_blobs = [lzss.encode(p) for p in payloads]
+
+    q_seconds = _best_of(
+        lambda: [quicklz.decode(b) for b in q_blobs], repeats)
+    l_seconds = _best_of(
+        lambda: [lzss.decode(b) for b in l_blobs], repeats)
+    return {
+        "scenario": "decode",
+        "quicklz": _mb_s_entry("decode_quicklz", nbytes, q_seconds),
+        "lzss": _mb_s_entry("decode_lzss", nbytes, l_seconds),
+    }
+
+
+def bench_gpu_segments(repeats: int = 3,
+                       segments_per_chunk: int = 8) -> dict:
+    """Segment-parallel kernel + CPU seam refinement over the corpus."""
+    payloads = [p for _, p in build_corpus() if len(p) >= 512]
+    nbytes = sum(len(p) for p in payloads)
+
+    def run() -> None:
+        kernel = SegmentLzKernel(
+            payloads, segments_per_chunk=segments_per_chunk)
+        for payload, per_chunk in zip(payloads, kernel.execute()):
+            refine_to_container(payload, per_chunk)
+
+    seconds = _best_of(run, repeats)
+    result = {"scenario": "gpu_segments",
+              "segments_per_chunk": segments_per_chunk}
+    result.update(_mb_s_entry("gpu_segments", nbytes, seconds))
+    return result
+
+
+def bench_memo(copies: int = 8) -> dict:
+    """Duplicate-heavy stream through a memoized ``CpuCompressor``.
+
+    No pre-PR baseline exists (the memo is new); the scenario reports
+    the hit rate and the cold/warm pass times so regressions show up in
+    ``BENCH_dataplane.json`` history.
+    """
+    payloads = duplicate_stream(copies=copies)
+
+    def one_pass(compressor: CpuCompressor) -> float:
+        started = time.perf_counter()
+        for index, payload in enumerate(payloads):
+            chunk = Chunk(offset=index * len(payload), size=len(payload),
+                          payload=payload)
+            compressor.compress(chunk)
+        return time.perf_counter() - started
+
+    memo = CodecMemo(capacity=64)
+    memoized = CpuCompressor(memo=memo)
+    cold = one_pass(memoized)
+    warm = one_pass(memoized)
+    plain = one_pass(CpuCompressor())
+    return {
+        "scenario": "memo",
+        "chunks": len(payloads),
+        "unique_contents": len({p for p in payloads}),
+        "hits": memo.hits,
+        "misses": memo.misses,
+        "hit_rate": memo.hits / max(1, memo.hits + memo.misses),
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "unmemoized_seconds": plain,
+        "warm_speedup_vs_unmemoized": plain / warm,
+    }
+
+
+# -- identity ---------------------------------------------------------------
+
+def stream_digests() -> dict[str, dict[str, str]]:
+    """sha256 of every producer's encoded stream for every corpus block."""
+    quicklz = QuickLzCodec()
+    lzss = LzssCodec()
+    lzss_lazy = LzssCodec(lazy=True)
+    digests: dict[str, dict[str, str]] = {}
+    for name, payload in build_corpus():
+        entry = {
+            "quicklz": hashlib.sha256(
+                quicklz.encode(payload)).hexdigest(),
+            "lzss": hashlib.sha256(lzss.encode(payload)).hexdigest(),
+            "lzss_lazy": hashlib.sha256(
+                lzss_lazy.encode(payload)).hexdigest(),
+        }
+        kernel = SegmentLzKernel([payload], segments_per_chunk=8)
+        (outputs,) = kernel.execute()
+        entry["gpu8"] = hashlib.sha256(
+            refine_to_container(payload, outputs)).hexdigest()
+        digests[name] = entry
+    return digests
+
+
+def check_golden_streams() -> dict:
+    """Compare current stream digests against the pinned goldens."""
+    observed = stream_digests()
+    mismatches: dict[str, dict[str, dict[str, str]]] = {}
+    for name, golden_entry in GOLDEN_STREAM_DIGESTS.items():
+        for producer, golden in golden_entry.items():
+            got = observed.get(name, {}).get(producer)
+            if got != golden:
+                mismatches.setdefault(name, {})[producer] = {
+                    "observed": got, "golden": golden}
+    return {"streams": len(observed),
+            "producers_checked": sum(len(v) for v in
+                                     GOLDEN_STREAM_DIGESTS.values()),
+            "fields_ok": not mismatches,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+def check_golden_a7() -> dict:
+    """Re-run the A7 segment sweep; fields must match exactly."""
+    from repro.bench.experiments import a7_segment_sweep
+
+    rows = a7_segment_sweep()
+    mismatches: dict[int, dict] = {}
+    observed = {row.segments: (row.ratio, row.ratio_loss_vs_serial)
+                for row in rows}
+    for segments, golden in GOLDEN_A7_FIELDS.items():
+        got = observed.get(segments)
+        if got != golden:
+            mismatches[segments] = {"observed": got, "golden": golden}
+    return {"rows": len(rows), "fields_ok": not mismatches,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+def check_golden_e4() -> dict:
+    """One E4 run per mode; report fields must match the engine goldens."""
+    import dataclasses
+
+    from repro.bench.perf import GOLDEN_E4_CHUNKS, GOLDEN_E4_FIELDS
+    from repro.core.calibration import run_mode
+    from repro.core.modes import IntegrationMode
+
+    mismatches: dict[str, dict] = {}
+    for mode in IntegrationMode.all_modes():
+        report = dataclasses.asdict(run_mode(mode, GOLDEN_E4_CHUNKS))
+        for field, golden in GOLDEN_E4_FIELDS[mode.value].items():
+            if report[field] != golden:
+                mismatches.setdefault(mode.value, {})[field] = {
+                    "observed": report[field], "golden": golden}
+    return {"modes": len(IntegrationMode.all_modes()),
+            "fields_ok": not mismatches,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+# -- driver -----------------------------------------------------------------
+
+def run_dataplane_bench(quick: bool = False, profile: bool = False,
+                        out_path: Optional[str] = "BENCH_dataplane.json"
+                        ) -> dict:
+    """Run all scenarios; write ``BENCH_dataplane.json``; return the dict.
+
+    ``quick`` halves repeats and skips the (slow) E4 field re-run — the
+    golden stream and A7 checks still run, so CI keeps full identity
+    coverage of the functional encoders.
+    """
+    profiler = None
+    if profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+
+    repeats = 2 if quick else 5
+    results: dict[str, Any] = {
+        "bench": "dataplane-hotpath",
+        "quick": quick,
+        "hash_array": bench_hash_array(repeats=repeats),
+        "match_finder": bench_match_finder(repeats=max(2, repeats - 2)),
+        "encode": bench_encode(repeats=repeats),
+        "decode": bench_decode(repeats=repeats),
+        "gpu_segments": bench_gpu_segments(repeats=max(2, repeats - 2)),
+        "memo": bench_memo(),
+        "golden_streams": check_golden_streams(),
+        "golden_a7": check_golden_a7(),
+    }
+    if not quick:
+        results["golden_e4"] = check_golden_e4()
+    results["fields_ok"] = all(
+        results[key]["fields_ok"]
+        for key in ("golden_streams", "golden_a7", "golden_e4")
+        if key in results)
+
+    if profiler is not None:
+        import io
+        import pstats
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(25)
+        results["profile_top"] = stream.getvalue()
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(results, handle, indent=2)
+        results["written_to"] = out_path
+    return results
+
+
+def render_dataplane_bench(results: dict) -> str:
+    """Human-readable summary of :func:`run_dataplane_bench` output."""
+    lines = []
+
+    def rate_line(label: str, entry: dict, unit: str, key: str) -> None:
+        speed = (f"  ({entry['speedup']:.2f}x vs seed baseline)"
+                 if "speedup" in entry else "")
+        lines.append(f"{label:<18} {entry[key]:>14,.0f} {unit}{speed}")
+
+    rate_line("hash array", results["hash_array"], "keys/s",
+              "keys_per_s")
+    rate_line("match finder", results["match_finder"], "pos/s",
+              "positions_per_s")
+    encode = results["encode"]
+    for codec in ("quicklz", "lzss"):
+        rate_line(f"encode {codec}", encode[codec], "MB/s", "mb_per_s")
+    rate_line("encode combined", encode["combined"], "MB/s", "mb_per_s")
+    decode = results["decode"]
+    for codec in ("quicklz", "lzss"):
+        rate_line(f"decode {codec}", decode[codec], "MB/s", "mb_per_s")
+    rate_line("gpu segments", results["gpu_segments"], "MB/s",
+              "mb_per_s")
+    memo = results["memo"]
+    lines.append(f"memo              hit rate {memo['hit_rate']:.1%}, "
+                 f"warm pass {memo['warm_speedup_vs_unmemoized']:.1f}x "
+                 f"vs unmemoized")
+    for key in ("golden_streams", "golden_a7", "golden_e4"):
+        if key in results:
+            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
+            lines.append(f"{key:<18} {ok}")
+    if "profile_top" in results:
+        lines.append("")
+        lines.append(results["profile_top"])
+    if "written_to" in results:
+        lines.append(f"results written to {results['written_to']}")
+    return "\n".join(lines)

@@ -199,11 +199,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(wall {time.time() - started:.1f} s) ===")
         print(render_engine_bench(results))
         return 0
+    if args.experiment == "dataplane":
+        from repro.bench.dataplane import (
+            render_dataplane_bench,
+            run_dataplane_bench,
+        )
+
+        started = time.time()
+        results = run_dataplane_bench(quick=args.quick,
+                                      profile=args.profile)
+        print(f"=== data-plane hot loops "
+              f"(wall {time.time() - started:.1f} s) ===")
+        print(render_dataplane_bench(results))
+        return 0 if results["fields_ok"] else 1
     experiments = registry()
     if args.experiment == "list":
         for name in experiments:
             print(name)
         print("engine")
+        print("dataplane")
         return 0
     runner = experiments.get(args.experiment)
     if runner is None:
@@ -319,9 +333,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("experiment",
                        help="experiment id (e1..e5, a1..a14), "
                             "'engine' (simulator hot-path perf), "
+                            "'dataplane' (codec hot-loop perf), "
                             "or 'list'")
     bench.add_argument("--profile", action="store_true",
-                       help="wrap the 'engine' E4 scenario in cProfile")
+                       help="wrap 'engine'/'dataplane' runs in cProfile")
+    bench.add_argument("--quick", action="store_true",
+                       help="dataplane: fewer repeats, skip the E4 "
+                            "field re-run (identity checks still run)")
     bench.set_defaults(func=cmd_bench)
 
     codec = sub.add_parser("codec",

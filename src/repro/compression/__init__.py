@@ -28,6 +28,7 @@ from repro.compression.lz_common import (
 from repro.compression.delta import DeltaCodec, SimilarityIndex, sketch
 from repro.compression.huffman import HuffmanCodec, LzssHuffmanCodec
 from repro.compression.lzss import LzssCodec
+from repro.compression.memo import CodecMemo, payload_fingerprint
 from repro.compression.quicklz import QuickLzCodec
 
 __all__ = [
@@ -46,4 +47,6 @@ __all__ = [
     "decode_tokens",
     "LzssCodec",
     "QuickLzCodec",
+    "CodecMemo",
+    "payload_fingerprint",
 ]

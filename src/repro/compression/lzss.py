@@ -13,6 +13,9 @@ segment-parallel path after post-processing.
 
 from __future__ import annotations
 
+import struct
+from bisect import bisect_left
+from collections import OrderedDict, defaultdict, deque
 from typing import Optional
 
 from repro.compression.lz_common import (
@@ -22,18 +25,22 @@ from repro.compression.lz_common import (
     Match,
     Token,
     bytes_to_tokens,
+    common_prefix_length,
     decode_tokens,
+    key3_array,
     tokens_to_bytes,
 )
+from repro.compression.memo import CodecMemo, payload_fingerprint
 from repro.errors import CompressionError
 
 #: Bound on hash-chain length; keeps worst-case encode cost linearish.
 _MAX_CHAIN = 64
 
 
-def _hash3(data: bytes, pos: int) -> int:
-    """Order-sensitive 3-byte rolling key for the match-finder table."""
-    return (data[pos] << 16) | (data[pos + 1] << 8) | data[pos + 2]
+def _new_chain() -> "deque[int]":
+    """Chain factory: maxlen evicts the oldest candidate on overflow,
+    exactly like the append-then-drop-head list it replaces."""
+    return deque(maxlen=_MAX_CHAIN)
 
 
 class MatchFinder:
@@ -43,54 +50,223 @@ class MatchFinder:
     candidates no further back than the window and no earlier than
     ``min_start`` (used by the GPU segment path to clamp history to the
     overlap region).
+
+    The table is keyed by the rolling 3-byte key array
+    (:func:`~repro.compression.lz_common.key3_array`), computed once for
+    the whole buffer.  Callers that build several finders over the same
+    buffer (the GPU segment kernel) pass the precomputed array via
+    ``keys`` so it is shared rather than rebuilt per segment.
     """
 
-    def __init__(self, data: bytes, params: LzParams = DEFAULT_PARAMS):
+    def __init__(self, data: bytes, params: LzParams = DEFAULT_PARAMS,
+                 keys: Optional[list[int]] = None):
         self.data = data
         self.params = params
-        self._chains: dict[int, list[int]] = {}
+        self._keys = key3_array(data) if keys is None else keys
+        # defaultdict so the hot insert path is a single C-level getitem;
+        # lookups that must not create entries go through .get().
+        self._chains: "defaultdict[int, deque[int]]" = defaultdict(_new_chain)
 
     def insert(self, pos: int) -> None:
         """Register ``pos`` as a future match candidate."""
         if pos + 3 <= len(self.data):
-            chain = self._chains.setdefault(_hash3(self.data, pos), [])
-            chain.append(pos)
-            if len(chain) > _MAX_CHAIN:
-                del chain[0]
+            self._chains[self._keys[pos]].append(pos)
 
-    def longest_match(self, pos: int,
-                      min_start: int = 0) -> Optional[Match]:
-        """Best match at ``pos`` whose source starts at >= ``min_start``."""
+    def insert_range(self, start: int, end: int) -> None:
+        """Register every position in ``[start, end)`` as a candidate."""
+        chains = self._chains
+        keys = self._keys
+        for pos in range(start, min(end, len(self.data) - 2)):
+            chains[keys[pos]].append(pos)
+
+    def best_match(self, pos: int,
+                   min_start: int = 0) -> Optional[tuple[int, int]]:
+        """``(distance, length)`` of the best match at ``pos``, or None.
+
+        The tuple-returning core of :meth:`longest_match`; the fused
+        encoder calls it directly to skip :class:`Match` construction on
+        the hot path.
+        """
         data, params = self.data, self.params
-        limit = min(len(data) - pos, params.max_match)
-        if limit < params.min_match or pos + 3 > len(data):
+        n = len(data)
+        if pos + 3 > n:
             return None
-        window_start = max(min_start, pos - params.window)
+        limit = n - pos
+        if limit > params.max_match:
+            limit = params.max_match
+        if limit < params.min_match:
+            return None
+        chain = self._chains.get(self._keys[pos])
+        if not chain:
+            return None
+        window_start = pos - params.window
+        if min_start > window_start:
+            window_start = min_start
         best_len = params.min_match - 1
         best_dist = 0
-        for candidate in reversed(self._chains.get(_hash3(data, pos), ())):
+        probe = pos + best_len
+        cpl = common_prefix_length
+        for candidate in reversed(chain):
             if candidate < window_start:
                 break
-            length = 0
-            while (length < limit
-                   and data[candidate + length] == data[pos + length]):
-                length += 1
+            # A candidate can only improve on best_len if it also matches
+            # one byte past the current best — cheap reject before the
+            # prefix scan.  Ties never update best, so this preserves the
+            # winning (length, distance) pair exactly.
+            if data[candidate + best_len] != data[probe]:
+                continue
+            length = cpl(data, candidate, pos, limit)
             if length > best_len:
                 best_len = length
                 best_dist = pos - candidate
                 if length >= limit:
                     break
-        if best_len >= params.min_match:
-            return Match(distance=best_dist, length=best_len)
+                probe = pos + best_len
+        if best_dist:
+            return (best_dist, best_len)
         return None
+
+    def longest_match(self, pos: int,
+                      min_start: int = 0) -> Optional[Match]:
+        """Best match at ``pos`` whose source starts at >= ``min_start``."""
+        best = self.best_match(pos, min_start)
+        if best is None:
+            return None
+        return Match(distance=best[0], length=best[1])
+
+
+#: Content-keyed cache of per-key occurrence indexes (same pattern and
+#: rationale as :data:`repro.compression.lz_common._KEY3_CACHE`).
+_OCC_CACHE: "OrderedDict[bytes, dict[int, list[int]]]" = OrderedDict()
+_OCC_CACHE_ENTRIES = 16
+
+
+def occurrence_index(data: bytes,
+                     keys: Optional[list[int]] = None) -> dict[int, list[int]]:
+    """Sorted position lists per rolling key, for the whole buffer.
+
+    The shared read-only half of the greedy fast path: built once per
+    buffer (and content-cached), it answers "which earlier positions
+    share this 3-byte key" for *any* query position via one bisect,
+    replacing per-position hash-chain maintenance.  Callers must treat
+    the index as read-only.
+    """
+    if type(data) is bytes:
+        cached = _OCC_CACHE.get(data)
+        if cached is not None:
+            _OCC_CACHE.move_to_end(data)
+            return cached
+    if keys is None:
+        keys = key3_array(data)
+    occ: "defaultdict[int, list[int]]" = defaultdict(list)
+    for pos, key in enumerate(keys):
+        occ[key].append(pos)
+    # Freeze: lookups after construction must never create entries.
+    occ.default_factory = None
+    if type(data) is bytes:
+        _OCC_CACHE[data] = occ
+        while len(_OCC_CACHE) > _OCC_CACHE_ENTRIES:
+            _OCC_CACHE.popitem(last=False)
+    return occ
+
+
+class IndexedMatchFinder:
+    """Read-only match finder over a prebuilt occurrence index.
+
+    Byte-identical to driving a :class:`MatchFinder` through the greedy
+    insert discipline — every position inserted exactly once, in
+    increasing order, before any query at a later position.  Under that
+    discipline the bounded chain the incremental finder would hold at a
+    query is exactly the last ``_MAX_CHAIN`` occurrences of the key
+    below the query position, which the index reads off with one bisect;
+    candidates older than the window (or ``min_start``) terminate the
+    scan in both implementations, so pre-seeded history that starts
+    later than position 0 (the GPU segment overlap) is covered too.
+
+    NOT valid for the lazy parse: its lookahead probe double-inserts
+    positions, which shifts chain eviction — lazy keeps the incremental
+    finder.
+    """
+
+    def __init__(self, data: bytes, params: LzParams = DEFAULT_PARAMS,
+                 keys: Optional[list[int]] = None,
+                 index: Optional[dict[int, list[int]]] = None):
+        self.data = data
+        self.params = params
+        self._keys = key3_array(data) if keys is None else keys
+        self._occ = (occurrence_index(data, self._keys)
+                     if index is None else index)
+        self._window = params.window
+        self._min_match = params.min_match
+        self._max_match = params.max_match
+
+    def best_match(self, pos: int,
+                   min_start: int = 0) -> Optional[tuple[int, int]]:
+        """``(distance, length)`` of the best match at ``pos``, or None."""
+        data = self.data
+        n = len(data)
+        if pos + 3 > n:
+            return None
+        limit = n - pos
+        if limit > self._max_match:
+            limit = self._max_match
+        if limit < self._min_match:
+            return None
+        occ_k = self._occ.get(self._keys[pos])
+        if occ_k is None:
+            return None
+        i = bisect_left(occ_k, pos)
+        if i == 0:
+            return None
+        window_start = pos - self._window
+        if min_start > window_start:
+            window_start = min_start
+        stop = i - _MAX_CHAIN
+        if stop < 0:
+            stop = 0
+        best_len = self._min_match - 1
+        best_dist = 0
+        probe = pos + best_len
+        cpl = common_prefix_length
+        for idx in range(i - 1, stop - 1, -1):
+            candidate = occ_k[idx]
+            if candidate < window_start:
+                break
+            if data[candidate + best_len] != data[probe]:
+                continue
+            length = cpl(data, candidate, pos, limit)
+            if length > best_len:
+                best_len = length
+                best_dist = pos - candidate
+                if length >= limit:
+                    break
+                probe = pos + best_len
+        if best_dist:
+            return (best_dist, best_len)
+        return None
+
+    def longest_match(self, pos: int,
+                      min_start: int = 0) -> Optional[Match]:
+        """Best match at ``pos`` whose source starts at >= ``min_start``."""
+        best = self.best_match(pos, min_start)
+        if best is None:
+            return None
+        return Match(distance=best[0], length=best[1])
 
 
 class LzssCodec:
     """Encode/decode bytes using the canonical LZSS container."""
 
-    def __init__(self, params: LzParams = DEFAULT_PARAMS, lazy: bool = False):
+    def __init__(self, params: LzParams = DEFAULT_PARAMS, lazy: bool = False,
+                 memo: Optional[CodecMemo] = None):
         self.params = params
         self.lazy = lazy
+        self.memo = memo
+        # Window geometry and parse strategy change the stream, so they
+        # are part of the memo namespace.
+        self._memo_tag = (f"lzss/{params.window}/{params.min_match}/"
+                          f"{params.max_match}/"
+                          f"{'lazy' if lazy else 'greedy'}")
 
     # -- encoding -----------------------------------------------------------
 
@@ -115,8 +291,7 @@ class LzssCodec:
                 match_here = match
             if match_here is not None:
                 tokens.append(match_here)
-                for offset in range(match_here.length):
-                    finder.insert(pos + offset)
+                finder.insert_range(pos, pos + match_here.length)
                 pos += match_here.length
             else:
                 tokens.append(Literal(data[pos]))
@@ -124,10 +299,77 @@ class LzssCodec:
                 pos += 1
         return tokens
 
-    def encode(self, data: bytes) -> bytes:
-        """Compress ``data`` into the canonical container."""
-        tokens = self.encode_to_tokens(data)
-        return tokens_to_bytes(tokens, len(data), self.params)
+    def encode(self, data: bytes, *,
+               fingerprint: Optional[bytes] = None) -> bytes:
+        """Compress ``data`` into the canonical container.
+
+        ``fingerprint`` is an optional precomputed content fingerprint
+        used as the memo key when a memo is attached.
+        """
+        if self.memo is not None:
+            if fingerprint is None:
+                fingerprint = payload_fingerprint(data)
+            cached = self.memo.get(self._memo_tag, fingerprint)
+            if cached is not None:
+                return cached
+        if self.lazy:
+            tokens = self.encode_to_tokens(data)
+            blob = tokens_to_bytes(tokens, len(data), self.params)
+        else:
+            blob = self._encode_greedy(data)
+        if self.memo is not None:
+            self.memo.put(self._memo_tag, fingerprint, blob)
+        return blob
+
+    def _encode_greedy(self, data: bytes) -> bytes:
+        """Greedy parse fused with container packing.
+
+        Byte-identical to ``tokens_to_bytes(self.encode_to_tokens(data),
+        ...)`` for the greedy parse — same candidate chains (via
+        :class:`IndexedMatchFinder`), same decisions, same 8-token flag
+        groups — minus the incremental chain maintenance, the
+        intermediate Token objects, and the second serialization pass.
+        """
+        n = len(data)
+        out = bytearray(struct.pack(">I", n))
+        if n == 0:
+            return bytes(out)
+        finder = IndexedMatchFinder(data, self.params)
+        best = finder.best_match
+        occ = finder._occ
+        keys = finder._keys
+        min_match = self.params.min_match
+        last = n - 3
+        append = out.append
+        pos = 0
+        # One iteration per 8-token flag group; a group is only opened
+        # when at least one token follows, which reproduces the grouping
+        # (and the no-trailing-flags-byte property) of tokens_to_bytes.
+        while pos < n:
+            flags = 0
+            flag_pos = len(out)
+            append(0)  # placeholder for this group's flags byte
+            bit = 0
+            while bit < 8 and pos < n:
+                m = None
+                if pos <= last:
+                    # occ[keys[pos]] always exists and contains pos; an
+                    # earlier occurrence is required for any candidate.
+                    if occ[keys[pos]][0] < pos:
+                        m = best(pos)
+                if m is not None:
+                    distance, length = m
+                    flags |= 1 << bit
+                    d = distance - 1  # 1-based -> 12 bits
+                    append((d >> 4) & 0xFF)
+                    append(((d & 0x0F) << 4) | ((length - min_match) & 0x0F))
+                    pos += length
+                else:
+                    append(data[pos])
+                    pos += 1
+                bit += 1
+            out[flag_pos] = flags
+        return bytes(out)
 
     # -- decoding ----------------------------------------------------------
 

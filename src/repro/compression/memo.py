@@ -1,0 +1,87 @@
+"""Fingerprint-keyed codec memoization (bounded LRU).
+
+On duplicate-heavy corpora the functional data plane spends most of its
+time re-encoding bytes it has already encoded: a dedup-*disabled*
+baseline compresses every copy of a hot block, and ``ratio()`` callers
+(calibration, experiments) encode the same calibration blocks over and
+over.  Every codec in the library is a pure function of its input bytes,
+so the encoded container can be memoized under a content fingerprint —
+the same SHA-1 the dedup path already computes, which makes the cache
+key free whenever the hashing stage ran first.
+
+The memo is *correctness-neutral by construction*: a hit returns the
+exact ``bytes`` object a previous encode produced, so every stream, size
+and report field is byte-identical with the memo on or off.  Timing is
+also untouched — simulated CPU cycles come from the cost model, not from
+wall-clock encode work.
+
+Keys are ``(codec_tag, fingerprint)``: the tag encodes the codec family
+*and* its parameters (window geometry, lazy parsing, segment count), so
+two differently-configured codecs never alias each other's streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from repro.errors import CompressionError
+
+#: Default entry budget — at 4 KiB containers this is ~2 MB of cache.
+DEFAULT_MEMO_ENTRIES = 512
+
+
+def payload_fingerprint(data: bytes) -> bytes:
+    """SHA-1 content fingerprint of ``data``.
+
+    The single definition of the content key used by both the dedup
+    hashing stage (:mod:`repro.dedup.hashing`) and the codec memo, so a
+    chunk fingerprinted once upstream is a ready-made memo key.
+    """
+    return hashlib.sha1(data).digest()
+
+
+class CodecMemo:
+    """Bounded LRU of encoded containers keyed by content fingerprint."""
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int = DEFAULT_MEMO_ENTRIES):
+        if capacity < 1:
+            raise CompressionError(
+                f"memo capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[tuple[str, bytes], bytes] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, tag: str, fingerprint: bytes) -> bytes | None:
+        """The memoized container, refreshing recency; None on a miss."""
+        entry = self._entries.get((tag, fingerprint))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end((tag, fingerprint))
+        self.hits += 1
+        return entry
+
+    def put(self, tag: str, fingerprint: bytes, blob: bytes) -> None:
+        """Insert (or refresh) an encoding, evicting the LRU entry."""
+        key = (tag, fingerprint)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = blob
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = blob
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot for reports and benchmarks."""
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "entries": len(self._entries)}

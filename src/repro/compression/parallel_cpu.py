@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.compression.lzss import LzssCodec
+from repro.compression.memo import CodecMemo
 from repro.compression.quicklz import QuickLzCodec
 from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
 from repro.errors import CompressionError
@@ -42,17 +43,26 @@ class CpuCompressor:
     """Per-chunk CPU compression: the paper's parallel QuickLZ baseline."""
 
     def __init__(self, codec: Optional[Codec] = None,
-                 costs: CpuCosts = DEFAULT_COSTS):
-        self.codec = codec if codec is not None else QuickLzCodec()
+                 costs: CpuCosts = DEFAULT_COSTS,
+                 memo: Optional[CodecMemo] = None):
+        self.codec = codec if codec is not None else QuickLzCodec(memo=memo)
+        if memo is not None and getattr(self.codec, "memo", None) is None:
+            self.codec.memo = memo
         self.costs = costs
         self.chunks_compressed = 0
         self.bytes_in = 0
         self.bytes_out = 0
 
     def compress(self, chunk: Chunk) -> CompressionResult:
-        """Compress one chunk (functionally in payload mode)."""
+        """Compress one chunk (functionally in payload mode).
+
+        A chunk already fingerprinted by the hashing stage hands its
+        SHA-1 to the codec as a ready-made memo key; unfingerprinted
+        chunks (dedup-disabled baselines) let the memo hash for itself.
+        """
         if chunk.has_payload:
-            blob = self.codec.encode(chunk.payload)
+            blob = self.codec.encode(chunk.payload,
+                                     fingerprint=chunk.fingerprint)
             if len(blob) < chunk.size:
                 size, stored_raw, out_blob = len(blob), False, blob
             else:

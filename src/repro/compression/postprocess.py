@@ -29,6 +29,7 @@ from repro.compression.lz_common import (
     LzParams,
     Match,
     Token,
+    common_prefix_length,
     token_output_length,
     tokens_to_bytes,
 )
@@ -82,19 +83,21 @@ def _extend_across_seam(chunk: bytes, merged: list[Token],
     last = merged[-1]
     if not isinstance(last, Match) or last.length >= params.max_match:
         return next_tokens, 0
-    absorbed = 0
-    tokens = list(next_tokens)
-    length = last.length
-    while (tokens and isinstance(tokens[0], Literal)
-           and length < params.max_match
-           and chunk[seam + absorbed - last.distance]
-           == chunk[seam + absorbed]):
-        tokens.pop(0)
-        absorbed += 1
-        length += 1
+    # Absorbable bytes are capped three ways: the run of leading literals,
+    # the room left in the match's length field, and how far the periodic
+    # extension actually keeps matching — the last is one slice-doubling
+    # prefix scan instead of the old byte-at-a-time pop loop.
+    cap = params.max_match - last.length
+    lead = 0
+    while (lead < cap and lead < len(next_tokens)
+           and isinstance(next_tokens[lead], Literal)):
+        lead += 1
+    absorbed = common_prefix_length(
+        chunk, seam - last.distance, seam, lead)
     if absorbed:
-        merged[-1] = Match(distance=last.distance, length=length)
-    return tokens, absorbed
+        merged[-1] = Match(distance=last.distance,
+                           length=last.length + absorbed)
+    return list(next_tokens[absorbed:]), absorbed
 
 
 def merge_segments(chunk: bytes, outputs: Sequence[SegmentOutput],

@@ -19,7 +19,16 @@ window.
 from __future__ import annotations
 
 import struct
+from typing import Optional
 
+from collections import OrderedDict
+
+from repro.compression.lz_common import (
+    cached_key3_array,
+    common_prefix_length,
+    copy_match,
+)
+from repro.compression.memo import CodecMemo, payload_fingerprint
 from repro.errors import CompressionError, CorruptStreamError
 
 _MIN_MATCH = 3
@@ -34,68 +43,126 @@ def _hash3(a: int, b: int, c: int) -> int:
     return ((value * 2654435761) >> (32 - _HASH_BITS)) & ((1 << _HASH_BITS) - 1)
 
 
+#: Content-keyed cache of mixed table-index arrays (see
+#: :data:`repro.compression.lz_common._KEY3_CACHE` for the pattern).
+_HASH_CACHE: "OrderedDict[bytes, list[int]]" = OrderedDict()
+_HASH_CACHE_ENTRIES = 16
+
+
+def _hash_array(data: bytes) -> list[int]:
+    """Table index for every position, precomputed in one pass.
+
+    ``_hash_array(data)[pos] == _hash3(data[pos], data[pos+1], data[pos+2])``
+    for every ``pos`` with three bytes left.  The mix runs over the same
+    rolling 3-byte groups as :func:`~repro.compression.lz_common.key3_array`;
+    when another consumer already cached that array for this buffer the
+    mix reuses it, otherwise a single fused comprehension computes the
+    table indices directly.  Results are content-cached like the key
+    array; callers must treat them as read-only.
+    """
+    if len(data) < 3:
+        return []
+    if type(data) is bytes:
+        cached = _HASH_CACHE.get(data)
+        if cached is not None:
+            _HASH_CACHE.move_to_end(data)
+            return cached
+    shift = 32 - _HASH_BITS
+    mask = (1 << _HASH_BITS) - 1
+    keys = cached_key3_array(data)
+    if keys is not None:
+        hashes = [((key * 2654435761) >> shift) & mask for key in keys]
+    else:
+        hashes = [((((a << 16) | (b << 8) | c) * 2654435761) >> shift) & mask
+                  for a, b, c in zip(data, data[1:], data[2:])]
+    if type(data) is bytes:
+        _HASH_CACHE[data] = hashes
+        while len(_HASH_CACHE) > _HASH_CACHE_ENTRIES:
+            _HASH_CACHE.popitem(last=False)
+    return hashes
+
+
 class QuickLzCodec:
     """Fast greedy LZ with a single-entry hash table."""
 
-    def encode(self, data: bytes) -> bytes:
-        """Compress ``data``; always produces a decodable container."""
+    #: Memo namespace — the format has no tunable parameters.
+    _MEMO_TAG = "quicklz"
+
+    def __init__(self, memo: Optional[CodecMemo] = None):
+        self.memo = memo
+
+    def encode(self, data: bytes, *,
+               fingerprint: Optional[bytes] = None) -> bytes:
+        """Compress ``data``; always produces a decodable container.
+
+        ``fingerprint`` is an optional precomputed content fingerprint
+        (the dedup stage's SHA-1) used as the memo key when a
+        :class:`~repro.compression.memo.CodecMemo` is attached.
+        """
+        if self.memo is not None:
+            if fingerprint is None:
+                fingerprint = payload_fingerprint(data)
+            cached = self.memo.get(self._MEMO_TAG, fingerprint)
+            if cached is not None:
+                return cached
+        blob = self._encode(data)
+        if self.memo is not None:
+            self.memo.put(self._MEMO_TAG, fingerprint, blob)
+        return blob
+
+    def _encode(self, data: bytes) -> bytes:
         n = len(data)
         out = bytearray(struct.pack(">I", n))
         table: list[int] = [-1] * (1 << _HASH_BITS)
+        # hashes[pos] is valid for every pos <= last (pos + 3 <= n).
+        hashes = _hash_array(data)
+        last = n - _MIN_MATCH
+        append = out.append
+        cpl = common_prefix_length
 
-        flags = 0
-        flag_bit = 0
-        flag_pos = len(out)
-        out.append(0)  # placeholder for the first flags byte
         pos = 0
-
-        def close_group() -> None:
-            nonlocal flags, flag_bit, flag_pos
-            out[flag_pos] = flags
-            flags = 0
-            flag_bit = 0
-            flag_pos = len(out)
-            out.append(0)
-
+        # One iteration per 8-token flag group: the flags byte is patched
+        # in once its group is fully emitted, and a group is only opened
+        # when at least one token follows — so the stream never carries a
+        # trailing empty flags byte and needs no trim pass.
         while pos < n:
-            if flag_bit == 8:
-                close_group()
-            match_len = 0
-            match_off = 0
-            if pos + _MIN_MATCH <= n:
-                key = _hash3(data[pos], data[pos + 1], data[pos + 2])
-                candidate = table[key]
-                table[key] = pos
-                if candidate >= 0 and pos - candidate <= _MAX_OFFSET:
-                    limit = min(n - pos, _MAX_MATCH)
-                    length = 0
-                    while (length < limit
-                           and data[candidate + length] == data[pos + length]):
-                        length += 1
-                    if length >= _MIN_MATCH:
-                        match_len = length
-                        match_off = pos - candidate
-            if match_len:
-                flags |= 1 << flag_bit
-                out.append(match_len - _MIN_MATCH)
-                out.append((match_off - 1) >> 8)
-                out.append((match_off - 1) & 0xFF)
-                # Seed the table sparsely inside the match (QuickLZ skips
-                # ahead; sampling keeps encode fast at a small ratio cost).
-                for inside in range(pos + 1, pos + match_len, 4):
-                    if inside + _MIN_MATCH <= n:
-                        table[_hash3(data[inside], data[inside + 1],
-                                     data[inside + 2])] = inside
-                pos += match_len
-            else:
-                out.append(data[pos])
+            flags = 0
+            flag_pos = len(out)
+            append(0)  # placeholder for this group's flags byte
+            bit = 0
+            while bit < 8 and pos < n:
+                if pos <= last:
+                    key = hashes[pos]
+                    candidate = table[key]
+                    table[key] = pos
+                    # The first-byte guard rejects hash collisions without
+                    # the prefix-scan call; a first-byte mismatch would be
+                    # length 0 anyway.
+                    if (candidate >= 0 and pos - candidate <= _MAX_OFFSET
+                            and data[candidate] == data[pos]):
+                        limit = n - pos
+                        if limit > _MAX_MATCH:
+                            limit = _MAX_MATCH
+                        length = cpl(data, candidate, pos, limit)
+                        if length >= _MIN_MATCH:
+                            flags |= 1 << bit
+                            append(length - _MIN_MATCH)
+                            off = pos - candidate - 1
+                            append(off >> 8)
+                            append(off & 0xFF)
+                            # Seed the table sparsely inside the match
+                            # (QuickLZ skips ahead; sampling keeps encode
+                            # fast at a small ratio cost).
+                            for inside in range(pos + 1,
+                                                min(pos + length, last + 1),
+                                                4):
+                                table[hashes[inside]] = inside
+                            pos += length
+                            bit += 1
+                            continue
+                append(data[pos])
                 pos += 1
-            flag_bit += 1
-
-        # Trim a trailing empty flags byte left by an exact group boundary.
-        if flag_bit == 0 and flag_pos == len(out) - 1:
-            del out[flag_pos]
-        else:
+                bit += 1
             out[flag_pos] = flags
         return bytes(out)
 
@@ -125,9 +192,7 @@ class QuickLzCodec:
                         raise CorruptStreamError(
                             f"match offset {offset} exceeds produced "
                             f"output {len(out)}")
-                    start = len(out) - offset
-                    for i in range(length):
-                        out.append(out[start + i])
+                    copy_match(out, offset, length)
                 else:
                     out.append(blob[pos])
                     pos += 1

@@ -90,6 +90,14 @@ class PipelineConfig:
     #: indexing" policy paying a GPU batch round-trip per chunk.
     arrival_rate_iops: float | None = None
 
+    # -- codec memo --------------------------------------------------------
+    #: Entry budget of the fingerprint-keyed codec memo shared by the
+    #: CPU and GPU compression paths (0 disables).  Payload-mode only:
+    #: a memo hit returns the byte-identical container a previous encode
+    #: of the same content produced, so streams and report fields never
+    #: move — duplicate-heavy corpora just stop paying for re-encoding.
+    codec_memo_entries: int = 512
+
     # -- destage -----------------------------------------------------------
     #: Destage writes to the SSD model (disable to isolate the reduction
     #: path, as the paper's operation-throughput numbers do implicitly).
@@ -118,6 +126,9 @@ class PipelineConfig:
             raise ConfigError(
                 f"window {self.window} smaller than the GPU batch size — "
                 "batches would never fill")
+        if self.codec_memo_entries < 0:
+            raise ConfigError(
+                f"invalid codec_memo_entries {self.codec_memo_entries}")
         if not self.enable_dedup and not self.enable_compression:
             raise ConfigError("both reduction operations disabled")
         if self.gpu_index_policy not in ("saturation", "always", "never"):

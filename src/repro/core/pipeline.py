@@ -40,6 +40,7 @@ from repro.core.config import PipelineConfig
 from repro.core.scheduler import OffloadScheduler
 from repro.core.stats import PipelineReport
 from repro.compression.gpu_lz import GpuCompressor
+from repro.compression.memo import CodecMemo
 from repro.compression.parallel_cpu import CpuCompressor
 from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
 from repro.cpu.model import SimCpu
@@ -94,10 +95,12 @@ class ReductionPipeline:
             gpu_index=gpu_index,
             costs=cpu_costs) if config.enable_dedup else None
 
-        self.cpu_comp = CpuCompressor(costs=cpu_costs)
+        memo = (CodecMemo(capacity=config.codec_memo_entries)
+                if config.codec_memo_entries else None)
+        self.cpu_comp = CpuCompressor(costs=cpu_costs, memo=memo)
         self.gpu_comp = GpuCompressor(
             segments_per_chunk=config.gpu_segments_per_chunk,
-            cpu_costs=cpu_costs, gpu_costs=gpu_costs)
+            cpu_costs=cpu_costs, gpu_costs=gpu_costs, memo=memo)
 
         self.scheduler = OffloadScheduler(
             self.cpu, policy=config.gpu_index_policy,
@@ -222,8 +225,7 @@ class ReductionPipeline:
                 pending = self._pending.get(chunk.fingerprint)
                 if pending is not None:
                     yield pending
-                    self.dedup.counters["pending_hits"] = \
-                        self.dedup.counters.get("pending_hits", 0) + 1
+                    self.dedup.counters["pending_hits"] += 1
                     chunk.is_duplicate = True
                     cycles = self.dedup.commit_duplicate(chunk)
                     yield self.cpu.charge(cycles)

@@ -74,6 +74,10 @@ class DedupEngine:
         self.gpu_index = gpu_index
         self.metadata = metadata if metadata is not None else MetadataStore()
         # -- Fig. 1 edge counters --
+        # Every counter any consumer bumps or reads is seeded here, so
+        # reports always carry the full key set (a counter that never
+        # fired reads 0, not KeyError/absent) and bump sites can use a
+        # plain += instead of re-deriving the default with .get().
         self.counters = {
             "gpu_hits": 0,
             "buffer_hits": 0,
@@ -81,6 +85,8 @@ class DedupEngine:
             "uniques": 0,
             "race_duplicates": 0,
             "flushes": 0,
+            "pending_hits": 0,
+            "restarts": 0,
         }
 
     # -- stage costs --------------------------------------------------------
@@ -217,7 +223,7 @@ class DedupEngine:
         if self.gpu_index is not None:
             self.gpu_index.clear()
         self.metadata.detach_fingerprint_index()
-        self.counters["restarts"] = self.counters.get("restarts", 0) + 1
+        self.counters["restarts"] += 1
         return batches
 
     # -- reporting --------------------------------------------------------

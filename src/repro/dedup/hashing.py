@@ -12,21 +12,25 @@ accepting (descriptor mode) the fingerprint.
 
 from __future__ import annotations
 
-import hashlib
-
+from repro.compression.memo import payload_fingerprint
 from repro.errors import DedupError
 from repro.types import Chunk
+
+__all__ = ["fingerprint_chunk", "fingerprint_batch", "payload_fingerprint"]
 
 
 def fingerprint_chunk(chunk: Chunk) -> bytes:
     """Set and return the chunk's SHA-1 fingerprint.
 
-    Payload mode hashes the real bytes.  Descriptor mode requires the
-    workload generator to have supplied a synthetic fingerprint already
-    (duplicates share fingerprints, so indexing still behaves for real).
+    Payload mode hashes the real bytes — through the same
+    :func:`~repro.compression.memo.payload_fingerprint` the codec memo
+    keys on, so one hash serves both dedup and memoization.  Descriptor
+    mode requires the workload generator to have supplied a synthetic
+    fingerprint already (duplicates share fingerprints, so indexing
+    still behaves for real).
     """
     if chunk.payload is not None:
-        chunk.fingerprint = hashlib.sha1(chunk.payload).digest()
+        chunk.fingerprint = payload_fingerprint(chunk.payload)
         return chunk.fingerprint
     if chunk.fingerprint is None:
         raise DedupError(

@@ -32,9 +32,11 @@ from repro.compression.lz_common import (
     DEFAULT_PARAMS,
     Literal,
     LzParams,
+    Match,
     Token,
+    key3_array,
 )
-from repro.compression.lzss import MatchFinder
+from repro.compression.lzss import IndexedMatchFinder, occurrence_index
 from repro.errors import KernelError
 from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
 from repro.gpu.kernel import Kernel, KernelCost
@@ -115,32 +117,40 @@ class SegmentLzKernel(Kernel):
         return start, end
 
     def _search_segment(self, chunk: bytes, start: int, end: int,
-                        work_hook=None) -> list[Token]:
+                        work_hook=None,
+                        keys: Optional[list[int]] = None,
+                        index: Optional[dict] = None) -> list[Token]:
         """Greedy LZ parse of chunk[start:end] with overlap history.
 
-        The finder is pre-seeded with the ``window`` bytes before the
-        segment (the overlap region the paper describes), so matches may
-        reference backwards across the seam; they are valid in the final
-        sequential stream because the decoder has full history by then.
+        The finder sees exactly the history a per-segment incremental
+        finder would have been seeded with — the ``window`` bytes before
+        the segment (the overlap region the paper describes) plus every
+        position already parsed — so matches may reference backwards
+        across the seam; they are valid in the final sequential stream
+        because the decoder has full history by then.
+
+        ``keys``/``index`` are the chunk's precomputed rolling-key array
+        and occurrence index, shared read-only by every segment thread
+        over the same chunk.  Each thread's *candidate chains* are still
+        private as far as the output is concerned: the index reproduces
+        the bounded chain each thread's own finder would hold (see
+        :class:`~repro.compression.lzss.IndexedMatchFinder`).
         """
-        params = self.params
-        finder = MatchFinder(chunk, params)
-        for pos in range(max(0, start - params.window), start):
-            finder.insert(pos)
+        finder = IndexedMatchFinder(chunk, self.params,
+                                    keys=keys, index=index)
+        best = finder.best_match
         tokens: list[Token] = []
+        append = tokens.append
         pos = start
         while pos < end:
             if work_hook is not None:
                 work_hook(1)
-            match = finder.longest_match(pos)
-            if match is not None and pos + match.length <= end:
-                tokens.append(match)
-                for offset in range(match.length):
-                    finder.insert(pos + offset)
-                pos += match.length
+            m = best(pos)
+            if m is not None and pos + m[1] <= end:
+                append(Match(distance=m[0], length=m[1]))
+                pos += m[1]
             else:
-                tokens.append(Literal(chunk[pos]))
-                finder.insert(pos)
+                append(Literal(chunk[pos]))
                 pos += 1
         return tokens
 
@@ -149,6 +159,10 @@ class SegmentLzKernel(Kernel):
         n_threads = len(self.chunks) * self.segments_per_chunk
         outputs: list[list[Optional[SegmentOutput]]] = [
             [None] * self.segments_per_chunk for _ in self.chunks]
+        # One rolling-key array and occurrence index per chunk, shared
+        # read-only by all its segment threads (computed lazily so idle
+        # grid slots pay nothing).
+        shared: dict[int, tuple[list[int], dict]] = {}
 
         def run_thread(thread_id: int, work_hook=None) -> None:
             chunk_index, segment_index = divmod(
@@ -159,7 +173,13 @@ class SegmentLzKernel(Kernel):
                 # Chunk shorter than the segment grid: this thread idles,
                 # exactly like a real kernel's out-of-range guard.
                 return
-            tokens = self._search_segment(chunk, start, end, work_hook)
+            state = shared.get(chunk_index)
+            if state is None:
+                keys = key3_array(chunk)
+                state = shared[chunk_index] = (
+                    keys, occurrence_index(chunk, keys))
+            tokens = self._search_segment(chunk, start, end, work_hook,
+                                          state[0], state[1])
             outputs[chunk_index][segment_index] = SegmentOutput(
                 chunk_index=chunk_index, segment_index=segment_index,
                 start=start, end=end, tokens=tokens)

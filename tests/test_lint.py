@@ -43,6 +43,7 @@ EXPECTED = {
     "rep301_missing_slots.py": [("REP301", 7)],
     "rep401_layering.py": [("REP401", 4)],
     "rep501_float_eq.py": [("REP501", 6), ("REP501", 8)],
+    "rep502_byte_loop.py": [("REP502", 7), ("REP502", 14)],
 }
 
 
