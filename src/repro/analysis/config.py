@@ -35,6 +35,7 @@ class LintConfig:
     determinism_scope: tuple[str, ...] = (
         "repro.sim", "repro.core", "repro.dedup", "repro.compression",
         "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
+        "repro.obs",
     )
     #: Modules whose iteration order decides *dispatch* order.  Here even
     #: dict-view iteration is flagged, because feeding a view into a
@@ -70,6 +71,10 @@ class LintConfig:
         default_factory=lambda: {
             "repro.sim": ("repro.errors", "repro.sim"),
             "repro.analysis": ("repro.errors", "repro.analysis"),
+            # The tracer/metrics layer sits just above the engine:
+            # instrumented subsystems import repro.obs, never the
+            # reverse (it may only reach down to sim primitives).
+            "repro.obs": ("repro.errors", "repro.sim", "repro.obs"),
         })
     #: (package, forbidden package) pairs.
     import_denylist: tuple[tuple[str, str], ...] = (
@@ -93,6 +98,17 @@ class LintConfig:
     #: Attribute/variable names treated as simulated-time expressions.
     time_names: tuple[str, ...] = (
         "now", "_now", "deadline", "_deadline", "next_admission",
+    )
+
+    # -- observability hygiene (REP601) ------------------------------------
+    #: Packages where ad-hoc ``env.now`` subtraction is flagged: derived
+    #: timing belongs in the tracer (record_since/record_split).  The
+    #: engine (repro.sim) and the tracer (repro.obs) own the clock and
+    #: are out of scope by omission.
+    now_arithmetic_scope: tuple[str, ...] = (
+        "repro.core", "repro.cpu", "repro.gpu", "repro.storage",
+        "repro.dedup", "repro.compression", "repro.workload",
+        "repro.bench",
     )
 
     # -- data-plane hot loops (REP502) -------------------------------------

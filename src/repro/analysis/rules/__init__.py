@@ -12,6 +12,7 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.floattime import FloatTimeEqualityChecker
 from repro.analysis.rules.layering import LayeringChecker
+from repro.analysis.rules.obs import NowArithmeticChecker
 from repro.analysis.rules.simproto import (
     AcquirePairingChecker,
     PrivateEngineApiChecker,
@@ -34,6 +35,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     LayeringChecker,           # REP401
     FloatTimeEqualityChecker,  # REP501
     ByteLoopMatchExtensionChecker,  # REP502
+    NowArithmeticChecker,      # REP601
 )
 
 

@@ -450,13 +450,15 @@ def check_golden_e4() -> dict:
 # -- driver -----------------------------------------------------------------
 
 def run_dataplane_bench(quick: bool = False, profile: bool = False,
-                        out_path: Optional[str] = "BENCH_dataplane.json"
-                        ) -> dict:
+                        out_path: Optional[str] = "BENCH_dataplane.json",
+                        trace_path: Optional[str] = None) -> dict:
     """Run all scenarios; write ``BENCH_dataplane.json``; return the dict.
 
     ``quick`` halves repeats and skips the (slow) E4 field re-run — the
     golden stream and A7 checks still run, so CI keeps full identity
-    coverage of the functional encoders.
+    coverage of the functional encoders.  ``trace_path`` additionally
+    runs one traced ``gpu_comp`` pipeline (the compression-heavy mode
+    this bench's loops feed) and writes its Chrome trace there.
     """
     profiler = None
     if profile:
@@ -492,6 +494,13 @@ def run_dataplane_bench(quick: bool = False, profile: bool = False,
         pstats.Stats(profiler, stream=stream) \
             .sort_stats("cumulative").print_stats(25)
         results["profile_top"] = stream.getvalue()
+    if trace_path:
+        from repro.bench.tracing import write_trace_bundle
+        from repro.core.modes import IntegrationMode
+
+        results["trace"] = write_trace_bundle(
+            trace_path, IntegrationMode.GPU_COMP,
+            2048 if quick else 8192)
     if out_path:
         with open(out_path, "w") as handle:
             json.dump(results, handle, indent=2)
@@ -532,6 +541,9 @@ def render_dataplane_bench(results: dict) -> str:
     if "profile_top" in results:
         lines.append("")
         lines.append(results["profile_top"])
+    if "trace" in results:
+        from repro.bench.tracing import trace_summary_line
+        lines.append(trace_summary_line(results["trace"]))
     if "written_to" in results:
         lines.append(f"results written to {results['written_to']}")
     return "\n".join(lines)

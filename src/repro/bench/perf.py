@@ -222,8 +222,15 @@ def bench_e4(chunks: int = GOLDEN_E4_CHUNKS, repeats: int = 3,
 
 def run_engine_bench(chunks: int = GOLDEN_E4_CHUNKS,
                      profile: bool = False,
-                     out_path: Optional[str] = "BENCH_engine.json") -> dict:
-    """Run all scenarios; write ``BENCH_engine.json``; return the dict."""
+                     out_path: Optional[str] = "BENCH_engine.json",
+                     trace_path: Optional[str] = None) -> dict:
+    """Run all scenarios; write ``BENCH_engine.json``; return the dict.
+
+    ``trace_path`` additionally runs one *traced* ``gpu_both`` pipeline
+    at the bench chunk count and writes its Chrome trace there, so a
+    perf investigation gets the where-does-time-go picture alongside
+    the wall-clock numbers.
+    """
     results = {
         "bench": "engine-hotpath",
         "chunks": chunks,
@@ -231,6 +238,12 @@ def run_engine_bench(chunks: int = GOLDEN_E4_CHUNKS,
         "resource_churn": bench_resource_churn(),
         "e4": bench_e4(chunks=chunks, profile=profile),
     }
+    if trace_path:
+        from repro.bench.tracing import write_trace_bundle
+        from repro.core.modes import IntegrationMode
+
+        results["trace"] = write_trace_bundle(
+            trace_path, IntegrationMode.GPU_BOTH, chunks)
     if out_path:
         with open(out_path, "w") as handle:
             json.dump(results, handle, indent=2)
@@ -261,6 +274,9 @@ def render_engine_bench(results: dict) -> str:
     if "profile_top" in e4:
         lines.append("")
         lines.append(e4["profile_top"])
+    if "trace" in results:
+        from repro.bench.tracing import trace_summary_line
+        lines.append(trace_summary_line(results["trace"]))
     if "written_to" in results:
         lines.append(f"results written to {results['written_to']}")
     return "\n".join(lines)

@@ -1,8 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's everyday uses:
+Six commands cover the library's everyday uses:
 
-* ``run`` — one timed pipeline run on the simulated testbed;
+* ``run`` — one timed pipeline run on the simulated testbed
+  (``--trace`` also writes a Chrome ``trace_event`` file);
+* ``trace`` — a traced run: Perfetto-loadable trace JSON plus the
+  critical-path latency attribution (DESIGN.md §10);
 * ``calibrate`` — the paper's dummy-I/O mode chooser, with platform knobs;
 * ``evaluate`` — the paper's §4 evaluation at a chosen scale;
 * ``codec`` — compress/decompress a real file with the bundled codecs
@@ -79,10 +82,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"error: mode {mode.value} needs a GPU (use --gpu)",
               file=sys.stderr)
         return 2
+    tracer = None
+    if args.trace:
+        from repro.obs import SimTracer
+        tracer = SimTracer()
     started = time.time()
     report = run_mode(mode, args.chunks, dedup_ratio=args.dedup_ratio,
                       comp_ratio=args.comp_ratio, seed=args.seed,
-                      **platform)
+                      tracer=tracer, **platform)
     table = Table(f"pipeline run: {mode.value}, {args.chunks} chunks "
                   f"(dedup {args.dedup_ratio} x comp {args.comp_ratio})",
                   ["metric", "value"])
@@ -100,6 +107,56 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"{report.nand_bytes_written / 1e6:.1f} MB")
     table.add_row("wall time", f"{time.time() - started:.1f} s")
     table.print()
+    if tracer is not None:
+        import json
+
+        from repro.obs import chrome_trace, validate_chrome_trace
+
+        payload = chrome_trace(tracer.spans)
+        problems = validate_chrome_trace(payload)
+        with open(args.trace, "w") as handle:
+            json.dump(payload, handle)
+        print(f"\ntrace: {len(payload['traceEvents'])} events -> "
+              f"{args.trace}")
+        if problems:
+            for problem in problems:
+                print(f"trace schema problem: {problem}",
+                      file=sys.stderr)
+            return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.tracing import build_trace_bundle
+    from repro.obs import write_chrome_trace
+
+    mode = IntegrationMode(args.mode)
+    platform = _platform_from(args)
+    if platform["gpu_spec"] is None and (mode.gpu_for_dedup
+                                         or mode.gpu_for_compression):
+        print(f"error: mode {mode.value} needs a GPU (use --gpu)",
+              file=sys.stderr)
+        return 2
+    chunks = 1024 if args.quick else args.chunks
+    bundle = build_trace_bundle(mode, chunks,
+                                dedup_ratio=args.dedup_ratio,
+                                comp_ratio=args.comp_ratio,
+                                seed=args.seed, **platform)
+    critical = bundle["critical_path"]
+    if args.format == "json":
+        print(critical.to_json())
+    else:
+        print(critical.render())
+    if args.format == "summary":
+        return 0
+    write_chrome_trace(args.out, bundle["spans"])
+    print(f"\ntrace: {len(bundle['payload']['traceEvents'])} events, "
+          f"{len(bundle['spans'])} spans -> {args.out} "
+          "(load in Perfetto / chrome://tracing)")
+    if bundle["problems"]:
+        for problem in bundle["problems"]:
+            print(f"trace schema problem: {problem}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -194,7 +251,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         from repro.bench.perf import render_engine_bench, run_engine_bench
 
         started = time.time()
-        results = run_engine_bench(profile=args.profile)
+        results = run_engine_bench(profile=args.profile,
+                                   trace_path=args.trace)
         print(f"=== engine hot-path "
               f"(wall {time.time() - started:.1f} s) ===")
         print(render_engine_bench(results))
@@ -207,7 +265,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         started = time.time()
         results = run_dataplane_bench(quick=args.quick,
-                                      profile=args.profile)
+                                      profile=args.profile,
+                                      trace_path=args.trace)
         print(f"=== data-plane hot loops "
               f"(wall {time.time() - started:.1f} s) ===")
         print(render_dataplane_bench(results))
@@ -316,7 +375,26 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=[m.value for m in IntegrationMode])
     _add_workload_args(run)
     _add_platform_args(run)
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="also write a Chrome trace_event JSON of "
+                          "the run")
     run.set_defaults(func=cmd_run)
+
+    trace = sub.add_parser(
+        "trace", help="traced run: Chrome trace + critical-path report")
+    trace.add_argument("--mode", default="gpu_comp",
+                       choices=[m.value for m in IntegrationMode])
+    _add_workload_args(trace)
+    _add_platform_args(trace)
+    trace.add_argument("--quick", action="store_true",
+                       help="1024-chunk run (CI smoke)")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event output path")
+    trace.add_argument("--format", choices=("chrome", "summary", "json"),
+                       default="chrome",
+                       help="chrome: trace file + table; summary: "
+                            "table only; json: trace file + JSON report")
+    trace.set_defaults(func=cmd_trace)
 
     cal = sub.add_parser("calibrate",
                          help="dummy-I/O integration-mode chooser")
@@ -340,6 +418,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="dataplane: fewer repeats, skip the E4 "
                             "field re-run (identity checks still run)")
+    bench.add_argument("--trace", metavar="PATH", default=None,
+                       help="engine/dataplane: also write a Chrome "
+                            "trace of one traced pipeline run")
     bench.set_defaults(func=cmd_bench)
 
     codec = sub.add_parser("codec",

@@ -18,7 +18,7 @@ GPU LZ kernels to the pipeline's batching machinery:
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.compression.lz_common import DEFAULT_PARAMS, LzParams
 from repro.compression.memo import CodecMemo, payload_fingerprint
@@ -54,6 +54,8 @@ class GpuCompressor:
         self.chunks_compressed = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        #: Seam-repair observability, filled by refine_to_container.
+        self.seam_stats: dict = {}
 
     # -- batching hooks (GpuBatcher interface) --------------------------------
 
@@ -115,14 +117,16 @@ class GpuCompressor:
     def _refine_memoized(self, chunk: Chunk, raw: Any) -> bytes:
         if self.memo is None:
             return refine_to_container(chunk.payload, raw,
-                                       params=self.params)
+                                       params=self.params,
+                                       stats=self.seam_stats)
         fingerprint = chunk.fingerprint
         if fingerprint is None:
             fingerprint = payload_fingerprint(chunk.payload)
         blob = self.memo.get(self._memo_tag, fingerprint)
         if blob is None:
             blob = refine_to_container(chunk.payload, raw,
-                                       params=self.params)
+                                       params=self.params,
+                                       stats=self.seam_stats)
             self.memo.put(self._memo_tag, fingerprint, blob)
         return blob
 
@@ -131,3 +135,15 @@ class GpuCompressor:
         if self.bytes_out == 0:
             return 1.0
         return self.bytes_in / self.bytes_out
+
+    def stats(self) -> dict[str, int]:
+        """Flat counter mapping for the metrics registry."""
+        counters = {
+            "chunks_compressed": self.chunks_compressed,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "seams_extended": 0,
+            "seam_bytes_absorbed": 0,
+        }
+        counters.update(self.seam_stats)
+        return counters

@@ -92,3 +92,11 @@ class CpuCompressor:
         if self.bytes_out == 0:
             return 1.0
         return self.bytes_in / self.bytes_out
+
+    def stats(self) -> dict[str, int]:
+        """Flat counter mapping for the metrics registry."""
+        return {
+            "chunks_compressed": self.chunks_compressed,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+        }

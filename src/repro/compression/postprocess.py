@@ -21,7 +21,7 @@ a chunk was compressed by the CPU or the GPU.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.compression.lz_common import (
     DEFAULT_PARAMS,
@@ -102,16 +102,27 @@ def _extend_across_seam(chunk: bytes, merged: list[Token],
 
 def merge_segments(chunk: bytes, outputs: Sequence[SegmentOutput],
                    params: LzParams = DEFAULT_PARAMS,
-                   repair_seams: bool = True) -> list[Token]:
-    """Stitch raw segment outputs into one valid token stream."""
+                   repair_seams: bool = True,
+                   stats: Optional[dict] = None) -> list[Token]:
+    """Stitch raw segment outputs into one valid token stream.
+
+    ``stats``, when given, accumulates refinement observability:
+    ``seams_extended`` (matches grown across a boundary) and
+    ``seam_bytes_absorbed`` (literals they swallowed).
+    """
     ordered = sorted(outputs, key=lambda o: o.segment_index)
     validate_segments(ordered, len(chunk), params)
     merged: list[Token] = []
     for out in ordered:
         tokens = list(out.tokens)
         if repair_seams and out.start > 0:
-            tokens, _ = _extend_across_seam(
+            tokens, absorbed = _extend_across_seam(
                 chunk, merged, tokens, out.start, params)
+            if stats is not None and absorbed:
+                stats["seams_extended"] = \
+                    stats.get("seams_extended", 0) + 1
+                stats["seam_bytes_absorbed"] = \
+                    stats.get("seam_bytes_absorbed", 0) + absorbed
         merged.extend(tokens)
     if token_output_length(merged) != len(chunk):
         raise CompressionError("seam repair corrupted the stream length")
@@ -120,7 +131,8 @@ def merge_segments(chunk: bytes, outputs: Sequence[SegmentOutput],
 
 def refine_to_container(chunk: bytes, outputs: Sequence[SegmentOutput],
                         params: LzParams = DEFAULT_PARAMS,
-                        repair_seams: bool = True) -> bytes:
+                        repair_seams: bool = True,
+                        stats: Optional[dict] = None) -> bytes:
     """Full post-processing: merge, repair seams, pack into the container."""
-    tokens = merge_segments(chunk, outputs, params, repair_seams)
+    tokens = merge_segments(chunk, outputs, params, repair_seams, stats)
     return tokens_to_bytes(tokens, len(chunk), params)

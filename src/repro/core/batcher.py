@@ -14,11 +14,12 @@ fixed launch cost dominates every item's latency.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Sequence
+from typing import Any, Callable, Generator, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.gpu.device import GpuDevice
 from repro.gpu.kernel import Kernel
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import Environment, Event, Store
 
 
@@ -33,7 +34,9 @@ class GpuBatcher:
                  make_kernel: Callable[[list[Any]], Kernel],
                  split_results: Callable[[list[Any], Any], Sequence[Any]],
                  batch_size: int, max_wait_s: float,
-                 name: str = "batcher", priority: int = 0):
+                 name: str = "batcher", priority: int = 0,
+                 tracer: Tracer = NULL_TRACER,
+                 stage: Optional[str] = None):
         if batch_size < 1:
             raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
         if max_wait_s < 0:
@@ -47,16 +50,23 @@ class GpuBatcher:
         self.name = name
         #: Launch priority on a priority-scheduled device queue.
         self.priority = priority
+        self.tracer = tracer
+        #: Stage name recorded per item when tracing (e.g. "gpu_index").
+        self.stage = stage
         self._inbox: Store = Store(env, name=f"{name}-inbox")
         self._running = True
         self.batches_launched = 0
         self.items_processed = 0
         env.process(self._dispatch_loop())
 
-    def submit(self, item: Any) -> Event:
-        """Offer one item; the returned event fires with its result."""
+    def submit(self, item: Any, trace_id: Optional[int] = None) -> Event:
+        """Offer one item; the returned event fires with its result.
+
+        ``trace_id`` tags the item's trace span (its chunk id) when
+        tracing is on.
+        """
         done = self.env.event()
-        self._inbox.put((item, done))
+        self._inbox.put((item, done, self.env.now, trace_id))
         return done
 
     def stop(self) -> None:
@@ -94,8 +104,8 @@ class GpuBatcher:
             if not self._running and self._inbox.level == 0:
                 return
 
-    def _launch(self, batch: list[tuple[Any, Event]]) -> Generator:
-        items = [item for item, _done in batch]
+    def _launch(self, batch: list[tuple]) -> Generator:
+        items = [entry[0] for entry in batch]
         kernel = self.make_kernel(items)
         raw = yield from self.gpu.launch(kernel,
                                          priority=self.priority)
@@ -106,5 +116,17 @@ class GpuBatcher:
                 f"results for {len(items)} items")
         self.batches_launched += 1
         self.items_processed += len(items)
-        for (_item, done), result in zip(batch, results):
-            done.succeed(result)
+        if self.tracer.enabled and self.stage is not None:
+            # One span per item: submit -> launch completion.  Batching
+            # delay and command-queue wait both count as queue wait; the
+            # kernel's own run time is the service share.
+            record = self.gpu.launches[-1]
+            for _item, _done, submitted, trace_id in batch:
+                self.tracer.record(
+                    self.stage, trace_id, start=submitted,
+                    end=record.end_time,
+                    queue_wait=max(0.0, record.start_time - submitted),
+                    resource=self.name,
+                    attrs={"batch": len(items), "kernel": record.name})
+        for entry, result in zip(batch, results):
+            entry[1].succeed(result)

@@ -23,6 +23,7 @@ from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
 from repro.cpu.model import CpuSpec, I7_2600K, SimCpu
 from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
 from repro.gpu.device import GpuDevice, GpuSpec, RADEON_HD_7970
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import Environment
 from repro.storage.ssd import SAMSUNG_SSD_830, SsdModel, SsdSpec
 from repro.workload.vdbench import VdbenchStream
@@ -63,8 +64,12 @@ def run_mode(mode: IntegrationMode, n_chunks: int,
              cpu_costs: CpuCosts = DEFAULT_COSTS,
              gpu_costs: GpuKernelCosts = DEFAULT_GPU_COSTS,
              dedup_ratio: float = 2.0, comp_ratio: float = 2.0,
-             seed: int = 1234):
+             seed: int = 1234, tracer: Optional[Tracer] = None):
     """Run one integration mode on a fresh simulated platform.
+
+    ``tracer`` (a :class:`~repro.obs.SimTracer`) is bound to the run's
+    environment and threaded through every timed subsystem; the default
+    is the zero-cost null tracer.
 
     Returns the :class:`~repro.core.stats.PipelineReport`.
     """
@@ -72,12 +77,17 @@ def run_mode(mode: IntegrationMode, n_chunks: int,
     if gpu_spec is None and (mode.gpu_for_dedup
                              or mode.gpu_for_compression):
         raise ValueError(f"mode {mode.value} needs a GPU spec")
+    if tracer is None:
+        tracer = NULL_TRACER
     env = Environment()
+    tracer.bind(env)
     cpu = SimCpu(env, cpu_spec)
-    gpu = GpuDevice(env, gpu_spec) if gpu_spec is not None else None
-    ssd = SsdModel(env, ssd_spec)
+    gpu = (GpuDevice(env, gpu_spec, tracer=tracer)
+           if gpu_spec is not None else None)
+    ssd = SsdModel(env, ssd_spec, tracer=tracer)
     pipeline = ReductionPipeline(env, config, cpu=cpu, gpu=gpu, ssd=ssd,
-                                 cpu_costs=cpu_costs, gpu_costs=gpu_costs)
+                                 cpu_costs=cpu_costs, gpu_costs=gpu_costs,
+                                 tracer=tracer)
     stream = VdbenchStream(dedup_ratio=dedup_ratio, comp_ratio=comp_ratio,
                            chunk_size=config.chunk_size, seed=seed)
     return pipeline.run(stream.chunks(n_chunks), total=n_chunks)

@@ -51,6 +51,25 @@ from repro.dedup.replacement import RandomReplacement
 from repro.errors import ConfigError
 from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
 from repro.gpu.device import GpuDevice
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.stages import (
+    CTR_BUFFER_HITS,
+    CTR_PENDING_HITS,
+    STAGE_ADMISSION,
+    STAGE_CHUNK,
+    STAGE_CHUNKING,
+    STAGE_COMMIT,
+    STAGE_COMPRESS,
+    STAGE_CPU_INDEX,
+    STAGE_DESTAGE,
+    STAGE_FINGERPRINT,
+    STAGE_GPU_INDEX,
+    STAGE_PENDING_WAIT,
+    STAGE_POSTPROCESS,
+    TRACK_DESTAGE,
+    TRACK_WINDOW,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import Environment, Resource
 from repro.sim.histogram import LatencyHistogram
 from repro.storage.block import BlockRequest, RequestKind
@@ -66,17 +85,20 @@ class ReductionPipeline:
                  gpu: Optional[GpuDevice] = None,
                  ssd: Optional[SsdModel] = None,
                  cpu_costs: CpuCosts = DEFAULT_COSTS,
-                 gpu_costs: GpuKernelCosts = DEFAULT_GPU_COSTS):
+                 gpu_costs: GpuKernelCosts = DEFAULT_GPU_COSTS,
+                 tracer: Tracer = NULL_TRACER):
         self.env = env
         self.config = config
         self.costs = cpu_costs
+        self.tracer = tracer
         self.cpu = cpu if cpu is not None else SimCpu(env)
-        self.ssd = ssd if ssd is not None else SsdModel(env)
+        self.ssd = ssd if ssd is not None else SsdModel(env, tracer=tracer)
         needs_gpu = (config.mode.gpu_for_dedup
                      or config.mode.gpu_for_compression)
         if needs_gpu and gpu is None:
             gpu = GpuDevice(env,
-                            priority_queue=config.gpu_queue_priority)
+                            priority_queue=config.gpu_queue_priority,
+                            tracer=tracer)
         self.gpu = gpu
 
         gpu_index = None
@@ -146,7 +168,8 @@ class ReductionPipeline:
                     fps, slots),
                 batch_size=cfg.gpu_index_batch,
                 max_wait_s=cfg.gpu_batch_wait_s,
-                name="gpu-index", priority=0)
+                name="gpu-index", priority=0,
+                tracer=self.tracer, stage=STAGE_GPU_INDEX)
         if (cfg.mode.gpu_for_compression and cfg.enable_compression
                 and self._comp_batcher is None):
             self._comp_batcher = GpuBatcher(
@@ -155,7 +178,8 @@ class ReductionPipeline:
                 split_results=self.gpu_comp.split_results,
                 batch_size=cfg.gpu_comp_batch,
                 max_wait_s=cfg.gpu_batch_wait_s,
-                name="gpu-comp", priority=1)
+                name="gpu-comp", priority=1,
+                tracer=self.tracer, stage=STAGE_COMPRESS)
 
     # -- the per-chunk workflow (Fig. 1) ------------------------------------
 
@@ -180,14 +204,21 @@ class ReductionPipeline:
             yield lock
             yield from self.cpu.execute(cycles)
 
-    def _chunk_worker(self, chunk: Chunk, slot) -> Generator:
+    def _chunk_worker(self, chunk: Chunk, slot, seq: int = 0) -> Generator:
         """Per-chunk pipeline process: ingest through commit.
 
         The whole chunk lifecycle lives in ONE generator frame —
         a nested ``yield from`` delegate would add a frame hop to
         every event resume on the hottest path in the simulator.
+
+        ``seq`` is the chunk's admission sequence number, used only as
+        its trace identity.  All tracing is guarded by ``trace`` being
+        non-None, so an untraced run executes the exact event sequence
+        it executed before tracing existed; the derived timing math
+        (queue-wait vs. service splits) lives in the tracer, never here.
         """
         admitted = self.env.now
+        trace = self.tracer if self.tracer.enabled else None
         try:
             cfg = self.config
             costs = self.costs
@@ -195,77 +226,146 @@ class ReductionPipeline:
                 fingerprint_chunk(chunk)
                 # One coalesced charge for ingest (chunk + hash) plus the
                 # stage handoff: a single acquire/hold/release round trip.
-                yield self.cpu.charge(
-                    self.dedup.ingest_cycles(chunk, cfg.content_defined)
-                    + costs.handoff_per_chunk)
+                ingest = (self.dedup.ingest_cycles(chunk,
+                                                   cfg.content_defined)
+                          + costs.handoff_per_chunk)
+                yield self.cpu.charge(ingest)
+                if trace is not None:
+                    # The coalesced charge covers two workflow stages;
+                    # split the measured interval by cycle weight.
+                    chunking = costs.chunking_cycles(chunk.size,
+                                                     cfg.content_defined)
+                    trace.record_split(
+                        (STAGE_CHUNKING, STAGE_FINGERPRINT), seq,
+                        admitted, weights=(chunking, ingest - chunking),
+                        expected_service_s=self.cpu.seconds(ingest))
 
                 gpu_definitive = False
                 if self._should_offload_index():
-                    hit = yield self._index_batcher.submit(chunk.fingerprint)
+                    # The batcher records the gpu_index span itself
+                    # (submit -> kernel completion, per item).
+                    hit = yield self._index_batcher.submit(
+                        chunk.fingerprint, trace_id=seq)
                     if hit:
+                        start = self.env.now if trace is not None else 0.0
                         cycles = self.dedup.note_gpu_hit(chunk)
                         yield self.cpu.charge(cycles)
+                        if trace is not None:
+                            trace.record_since(
+                                STAGE_COMMIT, seq, start,
+                                expected_service_s=self.cpu.seconds(cycles),
+                                attrs={"path": "gpu_hit"})
                         return
                     # An eviction-free GPU index mirrors every flushed entry,
                     # so its miss proves the fingerprint is not in the tree.
                     gpu_definitive = self.dedup.gpu_index.evictions == 0
 
+                start = self.env.now if trace is not None else 0.0
                 outcome = self.dedup.cpu_index_partial(chunk) if gpu_definitive \
                     else self.dedup.cpu_index(chunk)
                 if self._index_lock is None:
                     yield self.cpu.charge(outcome.cpu_cycles)
                 else:
                     yield from self._index_execute(outcome.cpu_cycles)
+                if trace is not None:
+                    trace.record_since(
+                        STAGE_CPU_INDEX, seq, start,
+                        expected_service_s=self.cpu.seconds(
+                            outcome.cpu_cycles),
+                        attrs={"path": outcome.path})
                 if outcome.duplicate:
+                    start = self.env.now if trace is not None else 0.0
                     cycles = self.dedup.commit_duplicate(chunk)
                     yield self.cpu.charge(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_COMMIT, seq, start,
+                            expected_service_s=self.cpu.seconds(cycles),
+                            attrs={"path": "duplicate"})
                     return
                 # In-flight check: another worker may be compressing this very
                 # content right now.  Wait for its commit, then dedup onto it.
                 pending = self._pending.get(chunk.fingerprint)
                 if pending is not None:
+                    start = self.env.now if trace is not None else 0.0
                     yield pending
-                    self.dedup.counters["pending_hits"] += 1
+                    if trace is not None:
+                        trace.record_since(STAGE_PENDING_WAIT, seq, start)
+                    self.dedup.counters[CTR_PENDING_HITS] += 1
                     chunk.is_duplicate = True
+                    start = self.env.now if trace is not None else 0.0
                     cycles = self.dedup.commit_duplicate(chunk)
                     yield self.cpu.charge(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_COMMIT, seq, start,
+                            expected_service_s=self.cpu.seconds(cycles),
+                            attrs={"path": "pending"})
                     return
                 # Our index probe ran earlier in simulated time; a twin may
                 # have committed since.  Its fingerprint would be in the bin
                 # buffer *now*, so re-probe before claiming uniqueness.
                 if self.dedup.bin_buffer.lookup(chunk.fingerprint) is not None:
-                    self.dedup.counters["buffer_hits"] += 1
+                    self.dedup.counters[CTR_BUFFER_HITS] += 1
                     chunk.is_duplicate = True
+                    start = self.env.now if trace is not None else 0.0
                     cycles = self.costs.bin_buffer_probe \
                         + self.dedup.commit_duplicate(chunk)
                     if self._index_lock is None:
                         yield self.cpu.charge(cycles)
                     else:
                         yield from self._index_execute(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_COMMIT, seq, start,
+                            expected_service_s=self.cpu.seconds(cycles),
+                            attrs={"path": "buffer_reprobe"})
                     return
                 self._pending[chunk.fingerprint] = self.env.event()
             else:
-                yield self.cpu.charge(
-                    costs.chunking_cycles(chunk.size, cfg.content_defined)
-                    + costs.handoff_per_chunk)
+                ingest = (costs.chunking_cycles(chunk.size,
+                                                cfg.content_defined)
+                          + costs.handoff_per_chunk)
+                yield self.cpu.charge(ingest)
+                if trace is not None:
+                    trace.record_since(
+                        STAGE_CHUNKING, seq, admitted,
+                        expected_service_s=self.cpu.seconds(ingest))
 
             # -- unique chunk: compression stage --
             blob: Optional[bytes] = None
             if cfg.enable_compression:
                 if self._comp_batcher is not None:
-                    raw = yield self._comp_batcher.submit(chunk)
+                    # The batcher records the compress span itself.
+                    raw = yield self._comp_batcher.submit(chunk,
+                                                          trace_id=seq)
+                    start = self.env.now if trace is not None else 0.0
                     result = self.gpu_comp.postprocess(chunk, raw)
+                    cycles = result.cpu_cycles + costs.handoff_per_chunk
+                    yield self.cpu.charge(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_POSTPROCESS, seq, start,
+                            expected_service_s=self.cpu.seconds(cycles))
                 else:
+                    start = self.env.now if trace is not None else 0.0
                     result = self.cpu_comp.compress(chunk)
-                yield self.cpu.charge(
-                    result.cpu_cycles + costs.handoff_per_chunk)
+                    cycles = result.cpu_cycles + costs.handoff_per_chunk
+                    yield self.cpu.charge(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_COMPRESS, seq, start,
+                            expected_service_s=self.cpu.seconds(cycles),
+                            resource="cpu",
+                            attrs={"stored_raw": result.stored_raw})
                 blob = result.blob
             else:
                 chunk.compressed_size = chunk.size
 
             # -- commit --
             if cfg.enable_dedup:
-                cycles, batch, _unique = self.dedup.commit_unique(chunk, blob)
+                start = self.env.now if trace is not None else 0.0
+                cycles, batch, unique = self.dedup.commit_unique(chunk, blob)
                 pending = self._pending.pop(chunk.fingerprint, None)
                 if pending is not None:
                     pending.succeed()
@@ -273,14 +373,25 @@ class ReductionPipeline:
                     yield self.cpu.charge(cycles)
                 else:
                     yield from self._index_execute(cycles)
+                if trace is not None:
+                    trace.record_since(
+                        STAGE_COMMIT, seq, start,
+                        expected_service_s=self.cpu.seconds(cycles),
+                        attrs={"path": "unique" if unique
+                               else "race_duplicate"})
                 if batch is not None and cfg.destage_enabled:
                     self._spawn_destage(batch.payload_bytes, sequential=True)
                     self.destage_batches += 1
                     self.destage_bytes += batch.payload_bytes
             else:
+                start = self.env.now if trace is not None else 0.0
                 # Commit + metadata coalesced into one charge.
-                yield self.cpu.charge(
-                    costs.metadata_update + costs.destage_submit)
+                cycles = costs.metadata_update + costs.destage_submit
+                yield self.cpu.charge(cycles)
+                if trace is not None:
+                    trace.record_since(
+                        STAGE_COMMIT, seq, start,
+                        expected_service_s=self.cpu.seconds(cycles))
                 if cfg.destage_enabled:
                     self._spawn_destage(chunk.compressed_size, sequential=False)
                     self.destage_batches += 1
@@ -288,6 +399,10 @@ class ReductionPipeline:
 
         finally:
             self.latency.record(self.env.now - admitted)
+            if trace is not None:
+                # The whole-chunk envelope: exactly the latency sample.
+                trace.record(STAGE_CHUNK, seq, start=admitted,
+                             attrs={"duplicate": bool(chunk.is_duplicate)})
             self._window.release(slot)
             self._done += 1
             if self._done == self._total:
@@ -298,8 +413,10 @@ class ReductionPipeline:
             return
 
         def destage() -> Generator:
-            yield from self.ssd.submit(BlockRequest(
-                RequestKind.WRITE, 0, nbytes, sequential=sequential))
+            with self.tracer.span(STAGE_DESTAGE, resource=TRACK_DESTAGE,
+                                  bytes=nbytes, sequential=sequential):
+                yield from self.ssd.submit(BlockRequest(
+                    RequestKind.WRITE, 0, nbytes, sequential=sequential))
 
         self.env.process(destage())
 
@@ -309,16 +426,22 @@ class ReductionPipeline:
         rate = self.config.arrival_rate_iops
         gap = 1.0 / rate if rate else 0.0
         next_admission = 0.0
-        for chunk in chunks:
+        trace = self.tracer if self.tracer.enabled else None
+        for seq, chunk in enumerate(chunks):
             if gap:
                 delay = next_admission - self.env.now
                 if delay > 0:
                     yield self.env.timeout(delay)
                 next_admission = max(next_admission, self.env.now) + gap
             request = self._window.request()
+            requested = self.env.now if trace is not None else 0.0
             yield request
+            if trace is not None:
+                # Pure queueing for a window slot, before admission.
+                trace.record_since(STAGE_ADMISSION, seq, requested,
+                                   resource=TRACK_WINDOW)
             self.bytes_in += chunk.size
-            self.env.process(self._chunk_worker(chunk, request))
+            self.env.process(self._chunk_worker(chunk, request, seq))
 
     def run(self, chunks: Iterable[Chunk], total: int) -> PipelineReport:
         """Process ``total`` chunks from ``chunks`` and report.
@@ -384,3 +507,46 @@ class ReductionPipeline:
             latency_percentiles=self.latency.summary(),
             mode=self.config.mode.value,
         )
+
+    def publish_metrics(self,
+                        registry: Optional[MetricsRegistry] = None
+                        ) -> MetricsRegistry:
+        """Export every subsystem's counters into one namespaced registry.
+
+        Idempotent: absorbing the same live counters twice only applies
+        the delta, so the registry can be re-published mid-run.
+        """
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.absorb_counters("pipeline", {
+            "chunks_done": self._done,
+            "bytes_in": self.bytes_in,
+            "destage_batches": self.destage_batches,
+            "destage_bytes": self.destage_bytes,
+            "gpu_offload_skips": self.gpu_offload_skips,
+        })
+        registry.attach_histogram("pipeline.latency_s", self.latency)
+        if self.dedup is not None:
+            registry.absorb_counters("dedup", self.dedup.counters)
+        registry.absorb_counters("scheduler",
+                                 self.scheduler.stats.as_counters())
+        if self.gpu is not None:
+            registry.absorb_counters("gpu", {
+                "kernels_launched": self.gpu.kernels_launched,
+            })
+        registry.absorb_counters("ssd", {
+            "host_bytes_written": self.ssd.host_bytes_written,
+            "host_bytes_read": self.ssd.host_bytes_read,
+            "nand_bytes_written": self.ssd.nand_bytes_written,
+            "requests_completed": self.ssd.requests_completed,
+            "trims": self.ssd.trims,
+            "read_retries": self.ssd.read_retries,
+        })
+        registry.absorb_counters("compress.cpu", self.cpu_comp.stats())
+        registry.absorb_counters("compress.gpu", self.gpu_comp.stats())
+        for batcher in (self._index_batcher, self._comp_batcher):
+            if batcher is not None:
+                registry.absorb_counters(f"batcher.{batcher.name}", {
+                    "batches_launched": batcher.batches_launched,
+                    "items_processed": batcher.items_processed,
+                })
+        return registry

@@ -42,6 +42,14 @@ class SchedulerStats:
         total = self.decisions
         return self.offloaded / total if total else 0.0
 
+    def as_counters(self) -> dict[str, int]:
+        """Flat counter mapping for the metrics registry."""
+        return {
+            "offloaded": self.offloaded,
+            "kept_local": self.kept_local,
+            "skipped_idle_cpu": self.skipped_idle_cpu,
+        }
+
 
 class OffloadScheduler:
     """Per-chunk indexing-placement decisions."""

@@ -10,6 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.stages import (
+    CTR_BUFFER_HITS,
+    CTR_GPU_HITS,
+    CTR_RACE_DUPLICATES,
+    CTR_TREE_HITS,
+)
+
 
 @dataclass
 class PipelineReport:
@@ -65,10 +72,10 @@ class PipelineReport:
     @property
     def duplicates_found(self) -> int:
         """Chunks resolved as duplicates on any path."""
-        return (self.counters.get("gpu_hits", 0)
-                + self.counters.get("buffer_hits", 0)
-                + self.counters.get("tree_hits", 0)
-                + self.counters.get("race_duplicates", 0))
+        return (self.counters.get(CTR_GPU_HITS, 0)
+                + self.counters.get(CTR_BUFFER_HITS, 0)
+                + self.counters.get(CTR_TREE_HITS, 0)
+                + self.counters.get(CTR_RACE_DUPLICATES, 0))
 
     def summary_row(self) -> str:
         """One formatted row for the benchmark tables."""

@@ -25,6 +25,16 @@ from repro.dedup.bin_buffer import BinBuffer
 from repro.dedup.bins import BinTable
 from repro.dedup.gpu_index import GpuBinIndex
 from repro.errors import DedupError
+from repro.obs.stages import (
+    CTR_BUFFER_HITS,
+    CTR_FLUSHES,
+    CTR_GPU_HITS,
+    CTR_RACE_DUPLICATES,
+    CTR_RESTARTS,
+    CTR_TREE_HITS,
+    CTR_UNIQUES,
+    DEDUP_COUNTER_KEYS,
+)
 from repro.storage.metadata import MetadataStore
 from repro.types import Chunk
 
@@ -78,16 +88,7 @@ class DedupEngine:
         # reports always carry the full key set (a counter that never
         # fired reads 0, not KeyError/absent) and bump sites can use a
         # plain += instead of re-deriving the default with .get().
-        self.counters = {
-            "gpu_hits": 0,
-            "buffer_hits": 0,
-            "tree_hits": 0,
-            "uniques": 0,
-            "race_duplicates": 0,
-            "flushes": 0,
-            "pending_hits": 0,
-            "restarts": 0,
-        }
+        self.counters = {key: 0 for key in DEDUP_COUNTER_KEYS}
 
     # -- stage costs --------------------------------------------------------
 
@@ -104,13 +105,13 @@ class DedupEngine:
         fingerprint = chunk.require_fingerprint()
         cycles = self.costs.bin_buffer_probe
         if self.bin_buffer.lookup(fingerprint) is not None:
-            self.counters["buffer_hits"] += 1
+            self.counters[CTR_BUFFER_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "buffer", cycles)
         depth = self.bin_table.bin_depth(fingerprint)
         cycles += self.costs.bin_tree_probe(depth)
         if self.bin_table.lookup(fingerprint) is not None:
-            self.counters["tree_hits"] += 1
+            self.counters[CTR_TREE_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "tree", cycles)
         chunk.is_duplicate = False
@@ -127,7 +128,7 @@ class DedupEngine:
         fingerprint = chunk.require_fingerprint()
         cycles = self.costs.bin_buffer_probe
         if self.bin_buffer.lookup(fingerprint) is not None:
-            self.counters["buffer_hits"] += 1
+            self.counters[CTR_BUFFER_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "buffer", cycles)
         chunk.is_duplicate = False
@@ -135,7 +136,7 @@ class DedupEngine:
 
     def note_gpu_hit(self, chunk: Chunk) -> float:
         """Record a GPU-index duplicate; returns metadata-update cycles."""
-        self.counters["gpu_hits"] += 1
+        self.counters[CTR_GPU_HITS] += 1
         chunk.is_duplicate = True
         return self.commit_duplicate(chunk)
 
@@ -166,13 +167,13 @@ class DedupEngine:
         fingerprint = chunk.require_fingerprint()
         if self.metadata.lookup(fingerprint) is not None:
             # Lost the in-flight race: another worker stored it first.
-            self.counters["race_duplicates"] += 1
+            self.counters[CTR_RACE_DUPLICATES] += 1
             cycles = self.commit_duplicate(chunk)
             return cycles, None, False
 
         if chunk.compressed_size is None:
             chunk.compressed_size = chunk.size
-        self.counters["uniques"] += 1
+        self.counters[CTR_UNIQUES] += 1
         self.metadata.store_unique(fingerprint, chunk.size,
                                    chunk.compressed_size, blob=blob,
                                    checksum=checksum)
@@ -189,7 +190,7 @@ class DedupEngine:
 
     def _apply_flush(self, flush) -> DestageBatch:
         """Move a flushed bin into the bin tree and the GPU bins."""
-        self.counters["flushes"] += 1
+        self.counters[CTR_FLUSHES] += 1
         payload = 0
         for fingerprint, info in flush.entries:
             self.bin_table.insert(fingerprint, info)
@@ -223,7 +224,7 @@ class DedupEngine:
         if self.gpu_index is not None:
             self.gpu_index.clear()
         self.metadata.detach_fingerprint_index()
-        self.counters["restarts"] += 1
+        self.counters[CTR_RESTARTS] += 1
         return batches
 
     # -- reporting --------------------------------------------------------

@@ -28,6 +28,11 @@ class LintError(ReproError):
     """The static-analysis layer was misused (bad rule id, bad baseline...)."""
 
 
+class TraceError(ReproError):
+    """The observability layer was misused (invalid span, unbound tracer,
+    metric type conflict...)."""
+
+
 class GpuError(ReproError):
     """Base class for errors in the simulated GPU substrate."""
 

@@ -26,6 +26,8 @@ from repro.errors import ConfigError
 from repro.gpu.kernel import Kernel, KernelCost
 from repro.gpu.memory import DeviceBuffer, DeviceMemory
 from repro.gpu.pcie import PCIE2_X16, PcieLink, PcieSpec
+from repro.obs.stages import TRACK_GPU_QUEUE
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import Environment, Resource
 from repro.sim.resources import PriorityResource
 
@@ -101,10 +103,12 @@ class GpuDevice:
 
     def __init__(self, env: Environment, spec: GpuSpec = RADEON_HD_7970,
                  pcie: Optional[PcieSpec] = None, name: str = "gpu",
-                 priority_queue: bool = False):
+                 priority_queue: bool = False,
+                 tracer: Tracer = NULL_TRACER):
         self.env = env
         self.spec = spec
         self.name = name
+        self.tracer = tracer
         #: Priority scheduling on the command queue is the extension
         #: experiment A13 studies; the paper's 2012-era runtime is the
         #: plain in-order queue (the default).
@@ -165,14 +169,26 @@ class GpuDevice:
             self.pcie.record(kernel.bytes_out(), to_device=False)
             yield self.env.timeout(duration)
             self.kernels_launched += 1
-            self.launches.append(LaunchRecord(
+            record = LaunchRecord(
                 name=kernel.name,
                 submit_time=submit,
                 start_time=start,
                 end_time=self.env.now,
                 queue_wait=start - submit,
                 kernel_time=duration,
-            ))
+            )
+            self.launches.append(record)
+            if self.tracer.enabled:
+                # Occupancy span only ([start, end]); the submit->start
+                # wait would overlap the previous launch's slice on the
+                # serialized queue track, so it rides along as an attr.
+                attrs = kernel.describe()
+                attrs["queue_wait_s"] = record.queue_wait
+                attrs["priority"] = priority
+                self.tracer.record(
+                    kernel.name, None, start=start,
+                    end=record.end_time, resource=TRACK_GPU_QUEUE,
+                    attrs=attrs)
         return result
 
     def transfer_to_device(self, buffer: DeviceBuffer,

@@ -70,3 +70,11 @@ class Kernel(ABC):
     #: Bytes that must cross PCIe back to the host after launch.
     def bytes_out(self) -> int:
         return 0
+
+    def describe(self) -> dict[str, Any]:
+        """Trace attributes for one launch of this kernel."""
+        return {
+            "kernel": self.name,
+            "bytes_in": self.bytes_in(),
+            "bytes_out": self.bytes_out(),
+        }

@@ -1,0 +1,46 @@
+"""Observability layer: sim-time tracing, metrics, critical-path reports.
+
+The paper's argument is about *where time goes* on the inline write
+path; this package makes that measurable instead of guessed.  Three
+pieces (DESIGN.md §10):
+
+* :mod:`repro.obs.tracer` — per-stage spans in **simulated** time, with
+  a zero-cost :class:`NullTracer` default so untraced runs stay
+  byte-identical;
+* :mod:`repro.obs.metrics` — one namespaced registry absorbing the
+  scattered ad-hoc statistics (dedup counters, scheduler decisions,
+  GPU/SSD device stats);
+* :mod:`repro.obs.export` / :mod:`repro.obs.critical_path` — Chrome
+  ``trace_event`` JSON (Perfetto-loadable) and per-stage latency
+  attribution with a queue-wait vs. service-time split.
+
+Layering: this package may import only :mod:`repro.errors` and
+:mod:`repro.sim` (enforced by lint rule REP401) — the instrumented
+subsystems import *it*, never the other way around.
+"""
+
+from repro.obs.critical_path import CriticalPathReport, StageBreakdown
+from repro.obs.export import (
+    chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, SimTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "SimTracer",
+    "Span",
+    "StageBreakdown",
+    "Tracer",
+    "chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

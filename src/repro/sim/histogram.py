@@ -28,12 +28,22 @@ class LatencyHistogram:
         self.count = 0
         self.total = 0.0
         self.peak = 0.0
+        #: Samples beyond the last bucket's range.  They are clamped
+        #: into the last bucket for percentile math (whose only honest
+        #: answer up there is the peak anyway), but the clamp is counted
+        #: so a mis-sized histogram is visible in the summary instead of
+        #: silently flattening the tail.
+        self.overflow = 0
 
     def _bucket(self, value: float) -> int:
         if value <= self.floor:
             return 0
         index = int(math.log(value / self.floor) / self._log_base) + 1
-        return min(index, len(self._counts) - 1)
+        last = len(self._counts) - 1
+        if index > last:
+            self.overflow += 1
+            return last
+        return index
 
     def _bucket_upper(self, index: int) -> float:
         if index == 0:
@@ -79,11 +89,12 @@ class LatencyHistogram:
         return self.peak
 
     def summary(self) -> dict[str, float]:
-        """Mean and the standard percentiles, as a dict."""
+        """Mean, the standard percentiles, and the overflow count."""
         return {
             "mean": self.mean,
             "p50": self.percentile(0.50),
             "p99": self.percentile(0.99),
             "p999": self.percentile(0.999),
             "max": self.peak,
+            "overflow": float(self.overflow),
         }

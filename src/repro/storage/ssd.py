@@ -28,6 +28,13 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.errors import ConfigError
+from repro.obs.stages import (
+    STAGE_SSD_READ,
+    STAGE_SSD_TRIM,
+    STAGE_SSD_WRITE,
+    TRACK_SSD,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim import Environment, Resource
 from repro.storage.block import BlockRequest, RequestKind
 
@@ -96,10 +103,12 @@ class SsdModel:
     """A timed SSD attached to a simulation environment."""
 
     def __init__(self, env: Environment, spec: SsdSpec = SAMSUNG_SSD_830,
-                 name: str = "ssd", seed: int = 0):
+                 name: str = "ssd", seed: int = 0,
+                 tracer: Tracer = NULL_TRACER):
         self.env = env
         self.spec = spec
         self.name = name
+        self.tracer = tracer
         self.channels = Resource(env, capacity=spec.channels,
                                  name=f"{name}-channels")
         self._rng = random.Random(seed)
@@ -142,8 +151,13 @@ class SsdModel:
             yield from ssd.submit(BlockRequest(RequestKind.WRITE, 0, 4096))
         """
         request.validate_against(self.spec.capacity_bytes)
+        traced = self.tracer.enabled
+        if traced:
+            submitted = self.env.now
         with self.channels.request() as req:
             yield req
+            if traced:
+                granted = self.env.now
             yield self.env.timeout(self.service_time(request))
             if (request.kind is RequestKind.READ
                     and self.spec.read_retry_probability > 0.0):
@@ -155,6 +169,15 @@ class SsdModel:
                     yield self.env.timeout(
                         self.spec.retry_penalty_s
                         + self.service_time(request))
+        if traced:
+            stage = (STAGE_SSD_WRITE if request.kind is RequestKind.WRITE
+                     else STAGE_SSD_READ if request.kind is RequestKind.READ
+                     else STAGE_SSD_TRIM)
+            self.tracer.record(
+                stage, None, start=submitted,
+                queue_wait=granted - submitted, resource=TRACK_SSD,
+                attrs={"bytes": request.size,
+                       "sequential": request.sequential})
         self.requests_completed += 1
         if request.kind is RequestKind.WRITE:
             self.host_bytes_written += request.size

@@ -23,6 +23,7 @@ from repro.dedup.chunking import FixedChunker
 from repro.dedup.engine import DedupEngine
 from repro.dedup.hashing import fingerprint_chunk
 from repro.errors import BlockRangeError, MetadataError
+from repro.obs import MetricsRegistry
 from repro.types import DEFAULT_CHUNK_SIZE
 
 
@@ -245,3 +246,29 @@ class ReducedVolume:
     def dedup_ratio(self) -> float:
         """Deduplication-only space win."""
         return self.engine.metadata.dedup_ratio()
+
+    def metrics(self,
+                registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+        """Publish the volume's statistics into a metrics registry.
+
+        Absorbs the dedup engine's counter dict, the compressor's
+        running totals, and the volume-level ledgers under dotted
+        namespaces (``dedup.*``, ``compress.cpu.*``, ``volume.*``) so
+        callers read one deterministic snapshot instead of spelunking
+        component objects.  Idempotent: re-publishing into the same
+        registry applies only the increase since the last call.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        registry.absorb_counters("dedup", self.engine.counters)
+        registry.absorb_counters("compress.cpu", self.compressor.stats())
+        registry.absorb_counters("volume", {
+            "deltas_stored": self.deltas_stored,
+            "destaged_bytes": self.destaged_bytes,
+        })
+        # Mapped-byte totals shrink on discard/TRIM, so they are gauges.
+        registry.gauge("volume.logical_bytes").set(float(self.logical_bytes))
+        registry.gauge("volume.physical_bytes").set(float(self.physical_bytes))
+        registry.gauge("volume.reduction_ratio").set(self.reduction_ratio())
+        registry.gauge("volume.dedup_ratio").set(self.dedup_ratio())
+        return registry

@@ -62,6 +62,52 @@ class TestRunCommand:
         assert "dedup ratio" in out
 
 
+class TestTraceCommand:
+    def test_summary_format_prints_attribution(self, capsys):
+        code = main(["trace", "--chunks", "256", "--format", "summary"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "critical path over 256 chunks" in out
+        assert "stage coverage" in out
+
+    def test_chrome_format_writes_valid_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = tmp_path / "trace.json"
+        code = main(["trace", "--chunks", "256", "--out",
+                     str(out_path)])
+        assert code == 0
+        payload = json.loads(out_path.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert "Perfetto" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        code = main(["trace", "--chunks", "256", "--format", "json",
+                     "--out", str(tmp_path / "trace.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        decoded = json.loads(out.split("\ntrace:")[0])
+        assert decoded["n_chunks"] == 256
+        assert decoded["coverage"] >= 0.95
+
+    def test_gpu_mode_without_gpu_fails_cleanly(self, capsys):
+        code = main(["trace", "--gpu", "none"])
+        assert code == 2
+        assert "needs a GPU" in capsys.readouterr().err
+
+    def test_run_with_trace_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "run_trace.json"
+        code = main(["run", "--mode", "cpu_only", "--chunks", "256",
+                     "--gpu", "none", "--trace", str(out_path)])
+        assert code == 0
+        assert out_path.exists()
+        assert "events ->" in capsys.readouterr().out
+
+
 class TestCalibrateCommand:
     def test_calibrate_testbed(self, capsys):
         code = main(["calibrate", "--chunks", "2048"])

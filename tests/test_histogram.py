@@ -63,12 +63,49 @@ class TestLatencyHistogram:
         hist = LatencyHistogram()
         hist.record(0.01)
         summary = hist.summary()
-        assert set(summary) == {"mean", "p50", "p99", "p999", "max"}
+        assert set(summary) == {"mean", "p50", "p99", "p999", "max",
+                                "overflow"}
 
     def test_huge_samples_clamp_to_last_bucket(self):
         hist = LatencyHistogram(n_buckets=16)
         hist.record(1e9)
         assert hist.percentile(1.0) == 1e9  # clamped to observed peak
+
+    def test_overflow_counted_and_surfaced(self):
+        hist = LatencyHistogram(n_buckets=16)
+        hist.record(1e-6)   # in range
+        hist.record(1e9)    # far past the 16-bucket range
+        hist.record(2e9)
+        assert hist.overflow == 2
+        assert hist.summary()["overflow"] == 2.0
+        # In-range histograms report zero, so goldens stay clean.
+        ok = LatencyHistogram()
+        ok.record(0.01)
+        assert ok.summary()["overflow"] == 0.0
+
+    def test_zero_samples_summary(self):
+        summary = LatencyHistogram().summary()
+        assert summary == {"mean": 0.0, "p50": 0.0, "p99": 0.0,
+                           "p999": 0.0, "max": 0.0, "overflow": 0.0}
+
+    def test_single_sample_percentiles(self):
+        hist = LatencyHistogram()
+        hist.record(0.5)
+        # Every non-degenerate percentile of a one-sample histogram is
+        # that sample (p0 targets zero mass and reports the floor).
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert hist.percentile(q) == pytest.approx(0.5, rel=0.05)
+
+    def test_percentile_interpolation_at_bucket_boundary(self):
+        hist = LatencyHistogram(floor=1e-6, base=2.0, n_buckets=32)
+        # Two samples in distinct buckets: the p50 cut lands exactly on
+        # the first sample's bucket; its reported value must not exceed
+        # the bucket's upper edge clamped to the observed peak.
+        hist.record(3e-6)   # bucket (2e-6, 4e-6]
+        hist.record(100e-6)
+        p50 = hist.percentile(0.50)
+        assert p50 <= 4e-6
+        assert hist.percentile(1.0) == pytest.approx(100e-6)
 
     @given(st.lists(st.floats(min_value=1e-9, max_value=1e3,
                               allow_nan=False), min_size=1, max_size=500))

@@ -44,6 +44,7 @@ EXPECTED = {
     "rep401_layering.py": [("REP401", 4)],
     "rep501_float_eq.py": [("REP501", 6), ("REP501", 8)],
     "rep502_byte_loop.py": [("REP502", 7), ("REP502", 14)],
+    "rep601_now_arith.py": [("REP601", 6), ("REP601", 7)],
 }
 
 
@@ -95,7 +96,7 @@ class TestRepoTree:
         # The grandfathered findings must still be *detected* (and
         # matched), or the baseline is dead weight.
         assert {d.rule for d in report.baselined} == {
-            "REP103", "REP201", "REP203"}
+            "REP103", "REP201", "REP203", "REP601"}
 
     def test_cli_repo_run(self, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
