@@ -63,6 +63,14 @@ class LintConfig:
     slots_modules: tuple[str, ...] = (
         "repro.sim.engine", "repro.sim.resources",
         "repro.types", "repro.cpu.model",
+        # Dedup index plane: one instance per staged/stored fingerprint.
+        "repro.dedup.engine", "repro.dedup.bins",
+        "repro.dedup.bin_buffer", "repro.dedup.btree",
+        "repro.dedup.gpu_index", "repro.dedup.index_base",
+        "repro.dedup.replacement", "repro.dedup.chunking",
+        "repro.dedup.fingerprint", "repro.storage.metadata",
+        "repro.gpu.kernel", "repro.gpu.kernels.indexing",
+        "repro.gpu.kernels.indexing_tiled",
     )
 
     # -- layering (REP401) --------------------------------------------------
@@ -118,6 +126,17 @@ class LintConfig:
     dataplane_scope: tuple[str, ...] = (
         "repro.compression", "repro.gpu.kernels",
     )
+
+    # -- fingerprint decomposition (REP503) --------------------------------
+    #: Packages where per-fingerprint ``int.from_bytes`` / slicing is
+    #: flagged: derived fingerprint fields come from the shared
+    #: :func:`repro.dedup.index_base.decompose` view.
+    fp_decompose_scope: tuple[str, ...] = ("repro.dedup",)
+    #: The one audited decomposition site, exempt by construction.
+    fp_decompose_exempt: tuple[str, ...] = ("repro.dedup.index_base",)
+    #: Variable names treated as raw fingerprint bytes (any name
+    #: containing "fingerprint" matches too).
+    fingerprint_names: tuple[str, ...] = ("fp", "fps")
 
     def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:
         """True when ``module`` falls under one of the scope prefixes."""

@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig
-from repro.analysis.rules.dataplane import ByteLoopMatchExtensionChecker
+from repro.analysis.rules.dataplane import (
+    ByteLoopMatchExtensionChecker,
+    FingerprintDecomposeChecker,
+)
 from repro.analysis.rules.determinism import (
     DefaultSeedChecker,
     UnorderedIterationChecker,
@@ -35,6 +38,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     LayeringChecker,           # REP401
     FloatTimeEqualityChecker,  # REP501
     ByteLoopMatchExtensionChecker,  # REP502
+    FingerprintDecomposeChecker,   # REP503
     NowArithmeticChecker,      # REP601
 )
 

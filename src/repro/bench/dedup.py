@@ -1,0 +1,413 @@
+"""Dedup index-plane benchmark (``repro bench dedup``).
+
+The engine bench watches the timed substrate and the dataplane bench
+watches the codec loops; this module watches the *index plane* — the
+functional structures every chunk's fingerprint passes through: the
+:class:`~repro.dedup.bin_buffer.BinBuffer` probe, the
+:class:`~repro.dedup.bins.BinTable` bin-tree walk, the GPU linear-bin
+lookup kernel (batch build + broadcast compare + result recording), and
+the flush path that installs a whole bin into the tree and the GPU bins
+at once.  The fast-path PR that introduced the fingerprint decomposition
+cache and the broadcast kernel is held to the same two promises as its
+predecessors:
+
+1. **Identity** — the pinned golden E4 report fields and the canonical
+   report sha256 digests are unchanged across all four integration
+   modes, and the vectorized kernel agrees slot-for-slot with the SIMT
+   oracle.  Always checked; timing-free.
+2. **Speed** — the aggregate (geometric-mean) speedup over the four
+   index microbenchmarks is >= 2x the pinned seed baselines.  Wall-clock
+   thresholds are only meaningful on the reference container, so the
+   gate in ``benchmarks/test_p5_dedup.py`` enforces them behind
+   ``REPRO_PERF_TIMING=1``; timings are always measured and written to
+   ``BENCH_dedup.json``.
+
+Scenarios (``--quick`` trims repeats and skips the full-size E4 field
+re-run; the report-digest identity check still runs):
+
+* **buffer_probe** — hit/miss probe mix against a staged bin buffer;
+* **tree_probe** — hit/miss probe mix against populated bin trees;
+* **gpu_batch_lookup** — batch build + kernel execute + result record
+  over a populated GPU bin index (the paper's per-batch launch);
+* **flush_install** — whole-bin flush events applied to the bin tree
+  and the GPU bins, including the capacity-overflow eviction path;
+* **golden** — report digests, E4 fields, SIMT-vs-vectorized slots.
+
+The baseline constants below are *wall-clock measurements from one
+specific machine at the pre-fast-path commit*.  Speedups against them
+are meaningful on that class of machine only; the identity checks are
+meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from typing import Any, Callable, Optional
+
+from repro.dedup.bin_buffer import BinBuffer, FlushEvent
+from repro.dedup.bins import BinTable
+from repro.dedup.engine import DedupEngine, _StagedInfo
+from repro.dedup.gpu_index import GpuBinIndex
+from repro.dedup.index_base import decompose, decomposition_cache
+from repro.dedup.replacement import RandomReplacement
+
+#: Pre-fast-path index-plane rates (reference container, best-of-N).
+#: Keys are scenario names; values are the scenario's ops/second.
+BASELINE_RATES = {
+    "buffer_probe": 1_810_701.0,
+    "tree_probe": 670_247.0,
+    "gpu_batch_lookup": 212_333.0,
+    "flush_install": 271_799.0,
+}
+
+#: The PR's acceptance bar: geometric-mean speedup over the four index
+#: microbenchmarks on the reference machine.
+REQUIRED_INDEX_SPEEDUP = 2.0
+
+#: Chunk count of the pinned per-mode report digests (small enough for
+#: CI; the full-size golden E4 field check runs without ``--quick``).
+GOLDEN_REPORT_CHUNKS = 2048
+
+#: sha256 of the canonical (sorted-key JSON) E4 report per integration
+#: mode at ``GOLDEN_REPORT_CHUNKS``, captured at the pre-fast-path
+#: commit.  The index fast path must reproduce every field bit-exactly.
+GOLDEN_REPORT_SHA256: dict[str, str] = {
+    "gpu_both":
+        "c2d39bfff4814a3ad5310a3141d2a519002a7d27847a5ea2b7ea6fbd2a80ee4d",
+    "gpu_dedup":
+        "326788335d172ba6ab5f170f452ac9b367d05449b80b4eb745d3d7c1e8339151",
+    "gpu_comp":
+        "4f7000645b09a2a80fe852dcc81507951cd6832e20bbaf709e1cd4c64e920d53",
+    "cpu_only":
+        "f6f89d2c3fa942457f875e7ef346b7e85ea79482c6896c8b1cbfd9195455f809",
+}
+
+
+# -- deterministic fingerprint corpus ---------------------------------------
+
+def make_fingerprints(count: int, salt: int = 0) -> list[bytes]:
+    """``count`` deterministic 20-byte SHA-1-shaped fingerprints."""
+    return [hashlib.sha1(f"{salt}:{i}".encode()).digest()
+            for i in range(count)]
+
+
+def make_bin_fingerprints(bin_id: int, count: int,
+                          prefix_bytes: int = 2,
+                          salt: int = 0) -> list[bytes]:
+    """``count`` distinct fingerprints that all land in ``bin_id``."""
+    prefix = bin_id.to_bytes(prefix_bytes, "big")
+    return [prefix + hashlib.sha1(
+        f"bin{bin_id}:{salt}:{i}".encode()).digest()[prefix_bytes:]
+        for i in range(count)]
+
+
+def _probe_mix(present: list[bytes], absent: list[bytes]) -> list[bytes]:
+    """Alternating hit/miss probe sequence (worst case for caches that
+    only help on hits)."""
+    mixed: list[bytes] = []
+    for hit, miss in zip(present, absent):
+        mixed.append(hit)
+        mixed.append(miss)
+    return mixed
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _rate_entry(name: str, ops: int, seconds: float, unit: str) -> dict:
+    rate = ops / seconds
+    entry = {"scenario": name, "ops": ops, "seconds": seconds,
+             unit: rate}
+    baseline = BASELINE_RATES.get(name)
+    if baseline and baseline > 1.0:
+        entry[f"baseline_{unit}"] = baseline
+        entry["speedup"] = rate / baseline
+    return entry
+
+
+# -- scenarios --------------------------------------------------------------
+
+def bench_buffer_probe(repeats: int = 5, staged: int = 4096,
+                       passes: int = 4) -> dict:
+    """Hit/miss probe mix against a staged bin buffer.
+
+    The staged set is the decomposition cache's working set; repeats
+    measure the warm path, which is the state a pipeline run is in for
+    every probe after a fingerprint's first sighting.
+    """
+    present = make_fingerprints(staged, salt=1)
+    absent = make_fingerprints(staged, salt=2)
+    buffer = BinBuffer(prefix_bytes=2, per_bin_capacity=1 << 30)
+    for i, fingerprint in enumerate(present):
+        buffer.add(fingerprint, i)
+    probes = _probe_mix(present, absent)
+
+    def run() -> None:
+        lookup = buffer.lookup
+        for _ in range(passes):
+            for fingerprint in probes:
+                lookup(fingerprint)
+
+    seconds = _best_of(run, repeats)
+    return _rate_entry("buffer_probe", len(probes) * passes, seconds,
+                       "probes_per_s")
+
+
+def bench_tree_probe(repeats: int = 5, entries: int = 8192,
+                     passes: int = 4) -> dict:
+    """Hit/miss probe mix against populated bin trees.
+
+    One probe resolves the same two questions the engine's CPU path
+    asks per chunk — the bin depth (for the cycle charge) and the
+    stored value — driven exactly the way ``DedupEngine.cpu_index``
+    drives it (seed: separate ``bin_depth`` + ``lookup`` calls; now:
+    one decomposition plus one ``probe_view``).
+    """
+    present = make_fingerprints(entries, salt=3)
+    absent = make_fingerprints(entries // 2, salt=4)
+    table = BinTable(prefix_bytes=2, min_degree=16)
+    for i, fingerprint in enumerate(present):
+        table.insert(fingerprint, i)
+    probes = _probe_mix(present[:entries // 2], absent)
+
+    def run() -> None:
+        cache = decomposition_cache(table.prefix_bytes)
+        probe = table.probe_view
+        pb = table.prefix_bytes
+        for _ in range(passes):
+            for fingerprint in probes:
+                try:
+                    view = cache[fingerprint]
+                except KeyError:
+                    view = decompose(fingerprint, pb, cache)
+                probe(view)
+
+    seconds = _best_of(run, repeats)
+    return _rate_entry("tree_probe", len(probes) * passes, seconds,
+                       "probes_per_s")
+
+
+def bench_gpu_batch_lookup(repeats: int = 5, stored: int = 8192,
+                           batch: int = 4096, passes: int = 2) -> dict:
+    """Batch build + kernel execute + result record, per launch.
+
+    ``prefix_bytes=1`` concentrates the batch into 256 bins so each bin
+    group carries many queries — the paper's linear-scan shape, and the
+    shape where a broadcast compare pays off.
+    """
+    index = GpuBinIndex(prefix_bytes=1, bin_capacity=512,
+                        policy=RandomReplacement(seed=11))
+    for fingerprint in make_fingerprints(stored, salt=5):
+        index.insert(fingerprint)
+    present = make_fingerprints(batch // 2, salt=5)
+    absent = make_fingerprints(batch // 2, salt=6)
+    queries = _probe_mix(present, absent)
+
+    def run() -> None:
+        for _ in range(passes):
+            kernel = index.make_kernel(queries)
+            slots = kernel.execute()
+            index.record_results(queries, slots)
+
+    seconds = _best_of(run, repeats)
+    return _rate_entry("gpu_batch_lookup", len(queries) * passes,
+                       seconds, "queries_per_s")
+
+
+def _flush_events(events: int, per_event: int,
+                  prefix_bytes: int = 2) -> list[FlushEvent]:
+    """Whole-bin flush events, each carrying ``per_event`` entries."""
+    out = []
+    for event_id in range(events):
+        bin_id = (event_id * 257) % (256 ** prefix_bytes)
+        entries = tuple(
+            (fingerprint, _StagedInfo(size=4096, compressed_size=2048))
+            for fingerprint in make_bin_fingerprints(
+                bin_id, per_event, prefix_bytes=prefix_bytes,
+                salt=event_id))
+        out.append(FlushEvent(bin_id=bin_id, entries=entries))
+    return out
+
+
+def bench_flush_install(repeats: int = 5, events: int = 64,
+                        per_event: int = 64) -> dict:
+    """Whole-bin flushes applied to the bin tree + GPU bins.
+
+    Half the events land in fresh, roomy GPU bins (pure install); the
+    other half re-hit the same bins with ``bin_capacity`` exceeded, so
+    the eviction path (seeded random replacement) is measured too.
+    """
+    fitting = _flush_events(events, per_event)
+    # Same bins again: every entry now takes the capacity-overflow path.
+    overflow = _flush_events(events, per_event)
+
+    def run() -> None:
+        engine = DedupEngine(
+            prefix_bytes=2, btree_min_degree=16,
+            gpu_index=GpuBinIndex(prefix_bytes=2, bin_capacity=64,
+                                  policy=RandomReplacement(seed=13)))
+        for event in fitting:
+            engine._apply_flush(event)
+        for event in overflow:
+            engine._apply_flush(event)
+
+    seconds = _best_of(run, repeats)
+    return _rate_entry("flush_install",
+                       2 * events * per_event, seconds, "entries_per_s")
+
+
+# -- identity ---------------------------------------------------------------
+
+def report_digests(chunks: int = GOLDEN_REPORT_CHUNKS) -> dict[str, str]:
+    """sha256 of the canonical JSON of every mode's pipeline report."""
+    from repro.core.calibration import run_mode
+    from repro.core.modes import IntegrationMode
+
+    digests: dict[str, str] = {}
+    for mode in IntegrationMode.all_modes():
+        report = dataclasses.asdict(run_mode(mode, chunks))
+        canonical = json.dumps(report, sort_keys=True)
+        digests[mode.value] = hashlib.sha256(
+            canonical.encode()).hexdigest()
+    return digests
+
+
+def check_golden_reports(chunks: int = GOLDEN_REPORT_CHUNKS) -> dict:
+    """Compare per-mode report digests against the pinned goldens."""
+    observed = report_digests(chunks)
+    mismatches = {
+        mode: {"observed": observed.get(mode), "golden": golden}
+        for mode, golden in GOLDEN_REPORT_SHA256.items()
+        if observed.get(mode) != golden}
+    return {"chunks": chunks, "modes": len(observed),
+            "fields_ok": not mismatches,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+def check_kernel_equivalence(stored: int = 512, batch: int = 256) -> dict:
+    """SIMT vs vectorized vs tiled slots on a shared-prefix corpus."""
+    index = GpuBinIndex(prefix_bytes=1, bin_capacity=64,
+                        policy=RandomReplacement(seed=17))
+    for fingerprint in make_fingerprints(stored, salt=7):
+        index.insert(fingerprint)
+    queries = _probe_mix(make_fingerprints(batch // 2, salt=7),
+                         make_fingerprints(batch // 2, salt=8))
+    plain = list(index.make_kernel(queries).execute())
+    simt = list(index.make_kernel(queries, use_simt=True).execute())
+    tiled = list(index.make_kernel(queries, tiled=True).execute())
+    return {"queries": len(queries),
+            "fields_ok": plain == simt == tiled}
+
+
+# -- driver -----------------------------------------------------------------
+
+def run_dedup_bench(quick: bool = False, profile: bool = False,
+                    out_path: Optional[str] = "BENCH_dedup.json",
+                    trace_path: Optional[str] = None) -> dict:
+    """Run all scenarios; write ``BENCH_dedup.json``; return the dict.
+
+    ``quick`` trims repeats and skips the (slow) full-size E4 field
+    re-run — the per-mode report-digest and kernel-equivalence checks
+    still run, so CI keeps full identity coverage of the index plane.
+    ``trace_path`` additionally runs one traced ``gpu_dedup`` pipeline
+    (the index-heavy mode this bench's structures feed) and writes its
+    Chrome trace there.
+    """
+    profiler = None
+    if profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
+
+    repeats = 2 if quick else 5
+    results: dict[str, Any] = {
+        "bench": "dedup-index-plane",
+        "quick": quick,
+        "buffer_probe": bench_buffer_probe(repeats=repeats),
+        "tree_probe": bench_tree_probe(repeats=repeats),
+        "gpu_batch_lookup": bench_gpu_batch_lookup(repeats=repeats),
+        "flush_install": bench_flush_install(repeats=repeats),
+        "golden_reports": check_golden_reports(),
+        "kernel_equivalence": check_kernel_equivalence(),
+    }
+    if not quick:
+        from repro.bench.dataplane import check_golden_e4
+        results["golden_e4"] = check_golden_e4()
+    results["fields_ok"] = all(
+        results[key]["fields_ok"]
+        for key in ("golden_reports", "kernel_equivalence", "golden_e4")
+        if key in results)
+
+    speedups = [results[s]["speedup"]
+                for s in ("buffer_probe", "tree_probe",
+                          "gpu_batch_lookup", "flush_install")
+                if "speedup" in results[s]]
+    if len(speedups) == len(BASELINE_RATES):
+        product = 1.0
+        for speedup in speedups:
+            product *= speedup
+        results["aggregate_speedup"] = product ** (1 / len(speedups))
+        results["required_speedup"] = REQUIRED_INDEX_SPEEDUP
+
+    if profiler is not None:
+        import io
+        import pstats
+        profiler.disable()
+        stream = io.StringIO()
+        pstats.Stats(profiler, stream=stream) \
+            .sort_stats("cumulative").print_stats(25)
+        results["profile_top"] = stream.getvalue()
+    if trace_path:
+        from repro.bench.tracing import write_trace_bundle
+        from repro.core.modes import IntegrationMode
+
+        results["trace"] = write_trace_bundle(
+            trace_path, IntegrationMode.GPU_DEDUP,
+            2048 if quick else 8192)
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(results, handle, indent=2)
+        results["written_to"] = out_path
+    return results
+
+
+def render_dedup_bench(results: dict) -> str:
+    """Human-readable summary of :func:`run_dedup_bench` output."""
+    lines = []
+    units = {"buffer_probe": "probes_per_s",
+             "tree_probe": "probes_per_s",
+             "gpu_batch_lookup": "queries_per_s",
+             "flush_install": "entries_per_s"}
+    for scenario, unit in units.items():
+        entry = results[scenario]
+        speed = (f"  ({entry['speedup']:.2f}x vs seed baseline)"
+                 if "speedup" in entry else "")
+        lines.append(f"{scenario:<18} {entry[unit]:>14,.0f} "
+                     f"{unit.replace('_per_s', '')}/s{speed}")
+    if "aggregate_speedup" in results:
+        lines.append(f"{'aggregate':<18} "
+                     f"{results['aggregate_speedup']:>13.2f}x geomean "
+                     f"(required {results['required_speedup']:.1f}x)")
+    for key in ("golden_reports", "kernel_equivalence", "golden_e4"):
+        if key in results:
+            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
+            lines.append(f"{key:<18} {ok}")
+    if "profile_top" in results:
+        lines.append("")
+        lines.append(results["profile_top"])
+    if "trace" in results:
+        from repro.bench.tracing import trace_summary_line
+        lines.append(trace_summary_line(results["trace"]))
+    if "written_to" in results:
+        lines.append(f"results written to {results['written_to']}")
+    return "\n".join(lines)

@@ -271,12 +271,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(wall {time.time() - started:.1f} s) ===")
         print(render_dataplane_bench(results))
         return 0 if results["fields_ok"] else 1
+    if args.experiment == "dedup":
+        from repro.bench.dedup import render_dedup_bench, run_dedup_bench
+
+        started = time.time()
+        results = run_dedup_bench(quick=args.quick,
+                                  profile=args.profile,
+                                  trace_path=args.trace)
+        print(f"=== dedup index plane "
+              f"(wall {time.time() - started:.1f} s) ===")
+        print(render_dedup_bench(results))
+        return 0 if results["fields_ok"] else 1
     experiments = registry()
     if args.experiment == "list":
         for name in experiments:
             print(name)
         print("engine")
         print("dataplane")
+        print("dedup")
         return 0
     runner = experiments.get(args.experiment)
     if runner is None:
@@ -412,15 +424,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment id (e1..e5, a1..a14), "
                             "'engine' (simulator hot-path perf), "
                             "'dataplane' (codec hot-loop perf), "
-                            "or 'list'")
+                            "'dedup' (index-plane perf), or 'list'")
     bench.add_argument("--profile", action="store_true",
-                       help="wrap 'engine'/'dataplane' runs in cProfile")
+                       help="wrap 'engine'/'dataplane'/'dedup' runs "
+                            "in cProfile")
     bench.add_argument("--quick", action="store_true",
-                       help="dataplane: fewer repeats, skip the E4 "
-                            "field re-run (identity checks still run)")
+                       help="dataplane/dedup: fewer repeats, skip the "
+                            "E4 field re-run (identity checks still "
+                            "run)")
     bench.add_argument("--trace", metavar="PATH", default=None,
-                       help="engine/dataplane: also write a Chrome "
-                            "trace of one traced pipeline run")
+                       help="engine/dataplane/dedup: also write a "
+                            "Chrome trace of one traced pipeline run")
     bench.set_defaults(func=cmd_bench)
 
     codec = sub.add_parser("codec",

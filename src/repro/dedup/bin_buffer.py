@@ -19,11 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from repro.dedup.index_base import check_fingerprint
+from repro.dedup.index_base import (FingerprintView, decompose,
+                                    decomposition_cache)
 from repro.errors import IndexError_
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushEvent:
     """One bin's worth of entries leaving the buffer."""
 
@@ -38,6 +39,10 @@ class FlushEvent:
 
 class BinBuffer:
     """Per-bin staging buffer with flush-on-full semantics."""
+
+    __slots__ = ("prefix_bytes", "per_bin_capacity", "total_capacity",
+                 "_bins", "_total", "_cache", "lookups", "hits",
+                 "flushes")
 
     def __init__(self, prefix_bytes: int = 2, per_bin_capacity: int = 64,
                  total_capacity: int | None = None):
@@ -55,26 +60,52 @@ class BinBuffer:
         #: Overall staging budget ("If the bin buffer becomes full, the
         #: buffer will be flushed"): exceeding it flushes the fullest bin.
         self.total_capacity = total_capacity
+        # Staged entries keyed by *suffix* — within one bin the suffix
+        # identifies the fingerprint, and suffix-keyed dicts compare
+        # fewer bytes per probe.  FlushEvent still carries the full
+        # fingerprints (reassembled from bin prefix + suffix).
         self._bins: dict[int, dict[bytes, Any]] = {}
         self._total = 0
+        self._cache = decomposition_cache(prefix_bytes)
         # -- statistics --
         self.lookups = 0
         self.hits = 0
         self.flushes = 0
 
+    def _view(self, fingerprint: bytes) -> FingerprintView:
+        return decompose(fingerprint, self.prefix_bytes, self._cache)
+
     def _bin_of(self, fingerprint: bytes) -> int:
-        return int.from_bytes(
-            check_fingerprint(fingerprint)[:self.prefix_bytes], "big")
+        return self._view(fingerprint).bin_id
 
     # -- probe / stage --------------------------------------------------------
 
     def lookup(self, fingerprint: bytes) -> Optional[Any]:
         """Value for a *recent* fingerprint still staged here, or None."""
+        # Inlined view probe: one cache hit plus two dict reads.  The
+        # try/except hit path is free on 3.11+; KeyError means a novel
+        # fingerprint, TypeError an unhashable (bytearray) one — both
+        # are what `decompose` handles.
+        try:
+            view = self._cache[fingerprint]
+        except (KeyError, TypeError):
+            view = decompose(fingerprint, self.prefix_bytes, self._cache)
         self.lookups += 1
-        staged = self._bins.get(self._bin_of(fingerprint))
+        staged = self._bins.get(view.bin_id)
         if staged is None:
             return None
-        value = staged.get(fingerprint)
+        value = staged.get(view.suffix)
+        if value is not None:
+            self.hits += 1
+        return value
+
+    def lookup_view(self, view: FingerprintView) -> Optional[Any]:
+        """Like :meth:`lookup` for an already-decomposed fingerprint."""
+        self.lookups += 1
+        staged = self._bins.get(view.bin_id)
+        if staged is None:
+            return None
+        value = staged.get(view.suffix)
         if value is not None:
             self.hits += 1
         return value
@@ -84,28 +115,37 @@ class BinBuffer:
         is due — either this bin filled, or the whole buffer exceeded its
         budget (then the *fullest* bin flushes, maximizing the sequential
         write the flush produces)."""
-        fingerprint = check_fingerprint(fingerprint)
-        bin_id = self._bin_of(fingerprint)
-        staged = self._bins.setdefault(bin_id, {})
-        if fingerprint in staged:
+        return self.add_view(self._view(fingerprint), value)
+
+    def add_view(self, view: FingerprintView,
+                 value: Any) -> Optional[FlushEvent]:
+        """Like :meth:`add` for an already-decomposed fingerprint."""
+        staged = self._bins.setdefault(view.bin_id, {})
+        if view.suffix in staged:
+            fingerprint = self._fingerprint(view.bin_id, view.suffix)
             raise IndexError_(
                 f"fingerprint {fingerprint.hex()[:12]}... staged twice — "
                 "the engine must probe before adding")
-        staged[fingerprint] = value
+        staged[view.suffix] = value
         self._total += 1
         if len(staged) >= self.per_bin_capacity:
-            return self._flush_bin(bin_id)
+            return self._flush_bin(view.bin_id)
         if self.total_capacity is not None \
                 and self._total > self.total_capacity:
             fullest = max(self._bins, key=lambda b: len(self._bins[b]))
             return self._flush_bin(fullest)
         return None
 
+    def _fingerprint(self, bin_id: int, suffix: bytes) -> bytes:
+        return bin_id.to_bytes(self.prefix_bytes, "big") + suffix
+
     def _flush_bin(self, bin_id: int) -> FlushEvent:
         staged = self._bins.pop(bin_id)
         self._total -= len(staged)
         self.flushes += 1
-        return FlushEvent(bin_id=bin_id, entries=tuple(staged.items()))
+        prefix = bin_id.to_bytes(self.prefix_bytes, "big")
+        return FlushEvent(bin_id=bin_id, entries=tuple(
+            (prefix + suffix, value) for suffix, value in staged.items()))
 
     # -- teardown / introspection ------------------------------------------------
 

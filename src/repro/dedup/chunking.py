@@ -18,6 +18,8 @@ from repro.types import Chunk, DEFAULT_CHUNK_SIZE
 class FixedChunker:
     """Cut a stream into fixed-size chunks (last one may be short)."""
 
+    __slots__ = ("chunk_size",)
+
     def __init__(self, chunk_size: int = DEFAULT_CHUNK_SIZE):
         if chunk_size < 1:
             raise ChunkingError(f"invalid chunk size {chunk_size}")
@@ -40,6 +42,9 @@ class ContentDefinedChunker:
     pathological runs (all-zero data never matches; random data matches
     everywhere).
     """
+
+    __slots__ = ("avg_size", "min_size", "max_size", "window",
+                 "_mask", "_target")
 
     def __init__(self, avg_size: int = DEFAULT_CHUNK_SIZE,
                  min_size: int | None = None, max_size: int | None = None,

@@ -24,6 +24,8 @@ from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
 from repro.dedup.bin_buffer import BinBuffer
 from repro.dedup.bins import BinTable
 from repro.dedup.gpu_index import GpuBinIndex
+from repro.dedup.index_base import (FingerprintView, decompose,
+                                    decomposition_cache)
 from repro.errors import DedupError
 from repro.obs.stages import (
     CTR_BUFFER_HITS,
@@ -39,7 +41,7 @@ from repro.storage.metadata import MetadataStore
 from repro.types import Chunk
 
 
-@dataclass
+@dataclass(slots=True)
 class IndexOutcome:
     """Result of running a chunk through the CPU indexing path."""
 
@@ -49,7 +51,7 @@ class IndexOutcome:
     cpu_cycles: float
 
 
-@dataclass
+@dataclass(slots=True)
 class DestageBatch:
     """One flushed bin's worth of compressed data, written sequentially."""
 
@@ -58,7 +60,7 @@ class DestageBatch:
     payload_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class _StagedInfo:
     """Bin-buffer value: what a flush needs to know per staged chunk."""
 
@@ -68,6 +70,10 @@ class _StagedInfo:
 
 class DedupEngine:
     """Functional dedup state with per-operation cycle costs."""
+
+    __slots__ = ("costs", "bin_table", "bin_buffer", "gpu_index",
+                 "metadata", "_prefix_bytes", "_decompose_cache",
+                 "counters")
 
     def __init__(self, prefix_bytes: int = 2, btree_min_degree: int = 16,
                  bin_buffer_capacity: int = 64,
@@ -83,6 +89,8 @@ class DedupEngine:
                                     total_capacity=bin_buffer_total)
         self.gpu_index = gpu_index
         self.metadata = metadata if metadata is not None else MetadataStore()
+        self._prefix_bytes = prefix_bytes
+        self._decompose_cache = decomposition_cache(prefix_bytes)
         # -- Fig. 1 edge counters --
         # Every counter any consumer bumps or reads is seeded here, so
         # reports always carry the full key set (a counter that never
@@ -100,17 +108,26 @@ class DedupEngine:
 
     # -- indexing (CPU path) ----------------------------------------------------
 
+    def _view(self, fingerprint: bytes) -> FingerprintView:
+        # Inlined decomposition-cache probe (the `decompose` fast path,
+        # minus one call frame — this runs once per chunk).
+        try:
+            return self._decompose_cache[fingerprint]
+        except (KeyError, TypeError):
+            return decompose(fingerprint, self._prefix_bytes,
+                             self._decompose_cache)
+
     def cpu_index(self, chunk: Chunk) -> IndexOutcome:
         """Bin-buffer probe, then bin-tree probe (Fig. 1's CPU path)."""
-        fingerprint = chunk.require_fingerprint()
+        view = self._view(chunk.require_fingerprint())
         cycles = self.costs.bin_buffer_probe
-        if self.bin_buffer.lookup(fingerprint) is not None:
+        if self.bin_buffer.lookup_view(view) is not None:
             self.counters[CTR_BUFFER_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "buffer", cycles)
-        depth = self.bin_table.bin_depth(fingerprint)
+        depth, value = self.bin_table.probe_view(view)
         cycles += self.costs.bin_tree_probe(depth)
-        if self.bin_table.lookup(fingerprint) is not None:
+        if value is not None:
             self.counters[CTR_TREE_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "tree", cycles)
@@ -125,9 +142,9 @@ class DedupEngine:
         miss too — only the bin buffer (entries newer than the last
         flush) still needs checking.
         """
-        fingerprint = chunk.require_fingerprint()
+        view = self._view(chunk.require_fingerprint())
         cycles = self.costs.bin_buffer_probe
-        if self.bin_buffer.lookup(fingerprint) is not None:
+        if self.bin_buffer.lookup_view(view) is not None:
             self.counters[CTR_BUFFER_HITS] += 1
             chunk.is_duplicate = True
             return IndexOutcome(True, "buffer", cycles)
@@ -181,22 +198,34 @@ class DedupEngine:
         cycles = (self.costs.bin_buffer_insert
                   + self.costs.metadata_update
                   + self.costs.flush_amortized_per_unique)
-        flush = self.bin_buffer.add(
-            fingerprint,
+        flush = self.bin_buffer.add_view(
+            self._view(fingerprint),
             _StagedInfo(size=chunk.size,
                         compressed_size=chunk.compressed_size))
         batch = self._apply_flush(flush) if flush is not None else None
         return cycles, batch, True
 
     def _apply_flush(self, flush) -> DestageBatch:
-        """Move a flushed bin into the bin tree and the GPU bins."""
+        """Move a flushed bin into the bin tree and the GPU bins.
+
+        Every flushed fingerprint is decomposed exactly once here (a
+        cache hit when the fingerprint was probed on ingest) and the
+        resulting views feed both the bin-tree run install and the GPU
+        bin install, so neither side re-slices anything.
+        """
         self.counters[CTR_FLUSHES] += 1
-        payload = 0
-        for fingerprint, info in flush.entries:
-            self.bin_table.insert(fingerprint, info)
-            payload += info.compressed_size
-        if self.gpu_index is not None:
-            self.gpu_index.update_from_flush(flush.entries)
+        cache = self._decompose_cache
+        pb = self._prefix_bytes
+        views = [decompose(fp, pb, cache) for fp, _ in flush.entries]
+        values = [info for _, info in flush.entries]
+        self.bin_table.install_views(flush.bin_id, views, values)
+        payload = sum(info.compressed_size for info in values)
+        gpu = self.gpu_index
+        if gpu is not None:
+            if gpu.prefix_bytes == pb:
+                gpu.install_views(views)
+            else:
+                gpu.update_from_flush(flush.entries)
         return DestageBatch(bin_id=flush.bin_id,
                             chunk_count=flush.count,
                             payload_bytes=payload)

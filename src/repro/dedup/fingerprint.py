@@ -21,6 +21,9 @@ _MASK64 = (1 << 64) - 1
 class RabinFingerprint:
     """Rolling hash over a fixed-size window of bytes."""
 
+    __slots__ = ("window", "base", "_expel", "_hash", "_buffer",
+                 "_pos")
+
     def __init__(self, window: int = 48, base: int = DEFAULT_BASE):
         if window < 1:
             raise ChunkingError(f"invalid window {window}")

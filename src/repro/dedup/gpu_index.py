@@ -24,18 +24,20 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.dedup.index_base import check_fingerprint
+from repro.dedup.index_base import (FingerprintView, check_fingerprint,
+                                    decompose, decomposition_cache)
 from repro.dedup.replacement import RandomReplacement, ReplacementPolicy
 from repro.errors import IndexError_
 from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
 from repro.gpu.kernels.indexing import BinLookupKernel, LookupBatch
 from repro.gpu.memory import DeviceMemory
+from repro.types import FINGERPRINT_BYTES
 
 #: Device bytes per entry: two u64 suffix lanes.
 ENTRY_BYTES = 16
 
 
-@dataclass
+@dataclass(slots=True)
 class _GpuBin:
     lo: np.ndarray
     hi: np.ndarray
@@ -44,6 +46,11 @@ class _GpuBin:
 
 class GpuBinIndex:
     """Capacity-limited linear-bin fingerprint index in device memory."""
+
+    __slots__ = ("prefix_bytes", "bin_capacity", "policy", "memory",
+                 "costs", "_bins", "_size", "_cache",
+                 "_policy_tracks_inserts", "_policy_tracks_hits",
+                 "evictions", "lookups", "hits")
 
     def __init__(self, prefix_bytes: int = 2, bin_capacity: int = 512,
                  policy: Optional[ReplacementPolicy] = None,
@@ -63,6 +70,15 @@ class GpuBinIndex:
         self.costs = costs
         self._bins: dict[int, _GpuBin] = {}
         self._size = 0
+        self._cache = decomposition_cache(prefix_bytes)
+        # Batched installs and result recording may skip the per-entry
+        # policy hook loops, but only when the policy does not override
+        # the base no-op hooks (LRU does; random/FIFO do not).
+        policy_type = type(self.policy)
+        self._policy_tracks_inserts = (
+            policy_type.on_insert is not ReplacementPolicy.on_insert)
+        self._policy_tracks_hits = (
+            policy_type.on_hit is not ReplacementPolicy.on_hit)
         # -- statistics --
         self.evictions = 0
         self.lookups = 0
@@ -70,17 +86,17 @@ class GpuBinIndex:
 
     # -- key handling ----------------------------------------------------------
 
+    def _view(self, fingerprint: bytes) -> FingerprintView:
+        return decompose(fingerprint, self.prefix_bytes, self._cache)
+
     def bin_of(self, fingerprint: bytes) -> int:
         """Bin number from the fingerprint prefix."""
-        fingerprint = check_fingerprint(fingerprint)
-        return int.from_bytes(fingerprint[:self.prefix_bytes], "big")
+        return self._view(fingerprint).bin_id
 
     def suffix_words(self, fingerprint: bytes) -> tuple[int, int]:
         """The 16 stored suffix bytes as two u64 words."""
-        suffix = check_fingerprint(fingerprint)[self.prefix_bytes:]
-        padded = (suffix + b"\x00" * 16)[:16]
-        return (int.from_bytes(padded[:8], "big"),
-                int.from_bytes(padded[8:16], "big"))
+        view = self._view(fingerprint)
+        return view.lo, view.hi
 
     # -- mutation -----------------------------------------------------------
 
@@ -100,29 +116,69 @@ class GpuBinIndex:
 
     def insert(self, fingerprint: bytes) -> int:
         """Install a fingerprint; returns the slot used."""
-        bin_id = self.bin_of(fingerprint)
-        lo, hi = self.suffix_words(fingerprint)
-        entry = self._bin(bin_id)
+        view = self._view(fingerprint)
+        return self._insert_view(view)
+
+    def _insert_view(self, view: FingerprintView) -> int:
+        entry = self._bin(view.bin_id)
         if entry.count < self.bin_capacity:
             slot = entry.count
             entry.count += 1
             self._size += 1
         else:
-            slot = self.policy.choose_victim(bin_id, self.bin_capacity)
+            slot = self.policy.choose_victim(view.bin_id, self.bin_capacity)
             self.evictions += 1
-        entry.lo[slot] = lo
-        entry.hi[slot] = hi
-        self.policy.on_insert(bin_id, slot)
+        entry.lo[slot] = view.lo
+        entry.hi[slot] = view.hi
+        self.policy.on_insert(view.bin_id, slot)
         return slot
 
     def update_from_flush(
             self, entries: Iterable[tuple[bytes, object]]) -> int:
-        """Apply a bin-buffer flush: install every flushed fingerprint."""
-        installed = 0
-        for fingerprint, _value in entries:
-            self.insert(fingerprint)
-            installed += 1
-        return installed
+        """Apply a bin-buffer flush: install every flushed fingerprint.
+
+        A flush carries one bin's worth of entries, so the free-slot
+        portion installs as two array assignments instead of per-entry
+        :meth:`insert` calls.  Overflow entries still evict one at a
+        time, in arrival order, so the :class:`ReplacementPolicy` sees
+        the exact victim sequence (and RNG draws) it always has.
+        """
+        return self.install_views(
+            [self._view(fingerprint) for fingerprint, _value in entries])
+
+    def install_views(self, views: "list[FingerprintView]") -> int:
+        """:meth:`update_from_flush` over pre-decomposed views."""
+        n = len(views)
+        start = 0
+        while start < n:
+            bin_id = views[start].bin_id
+            end = start
+            while end < n and views[end].bin_id == bin_id:
+                end += 1
+            self._install_run(bin_id, views[start:end])
+            start = end
+        return n
+
+    def _install_run(self, bin_id: int, run: "list[FingerprintView]") -> None:
+        entry = self._bin(bin_id)
+        fit = min(self.bin_capacity - entry.count, len(run))
+        if fit > 0:
+            base = entry.count
+            entry.lo[base:base + fit] = np.fromiter(
+                (v.lo for v in run[:fit]), dtype=np.uint64, count=fit)
+            entry.hi[base:base + fit] = np.fromiter(
+                (v.hi for v in run[:fit]), dtype=np.uint64, count=fit)
+            entry.count += fit
+            self._size += fit
+            if self._policy_tracks_inserts:
+                for slot in range(base, base + fit):
+                    self.policy.on_insert(bin_id, slot)
+        for view in run[fit:]:
+            slot = self.policy.choose_victim(bin_id, self.bin_capacity)
+            self.evictions += 1
+            entry.lo[slot] = view.lo
+            entry.hi[slot] = view.hi
+            self.policy.on_insert(bin_id, slot)
 
     # -- lookup --------------------------------------------------------------
 
@@ -132,12 +188,29 @@ class GpuBinIndex:
                 for bin_id, b in self._bins.items()}
 
     def make_batch(self, fingerprints: Sequence[bytes]) -> LookupBatch:
-        """Build the query batch one kernel launch will resolve."""
-        queries = []
+        """Build the query batch one kernel launch will resolve.
+
+        The whole batch is decomposed in one numpy pass (join, reshape,
+        two big-endian u64 views) rather than per-fingerprint slicing.
+        Malformed input falls back to :func:`check_fingerprint` so the
+        validation errors stay identical.
+        """
+        n = len(fingerprints)
         for fingerprint in fingerprints:
-            lo, hi = self.suffix_words(fingerprint)
-            queries.append((self.bin_of(fingerprint), lo, hi))
-        return LookupBatch.from_queries(queries)
+            if type(fingerprint) is not bytes \
+                    or len(fingerprint) != FINGERPRINT_BYTES:
+                check_fingerprint(fingerprint)
+        raw = np.frombuffer(b"".join(fingerprints), dtype=np.uint8)
+        raw = raw.reshape(n, FINGERPRINT_BYTES)
+        p = self.prefix_bytes
+        bin_ids = np.zeros(n, dtype=np.uint32)
+        for col in range(p):
+            bin_ids = (bin_ids << np.uint32(8)) | raw[:, col]
+        lo = np.ascontiguousarray(
+            raw[:, p:p + 8]).view(">u8").astype(np.uint64).ravel()
+        hi = np.ascontiguousarray(
+            raw[:, p + 8:p + 16]).view(">u8").astype(np.uint64).ravel()
+        return LookupBatch.from_arrays(bin_ids, lo, hi)
 
     def make_kernel(self, fingerprints: Sequence[bytes],
                     use_simt: bool = False, tiled: bool = False):
@@ -168,15 +241,19 @@ class GpuBinIndex:
     def record_results(self, fingerprints: Sequence[bytes],
                        slots: np.ndarray) -> list[bool]:
         """Turn kernel slot output into hit booleans, updating stats."""
-        hits: list[bool] = []
-        for fingerprint, slot in zip(fingerprints, slots):
-            self.lookups += 1
-            hit = int(slot) >= 0
-            if hit:
-                self.hits += 1
-                self.policy.on_hit(self.bin_of(fingerprint), int(slot))
-            hits.append(hit)
-        return hits
+        slot_arr = np.asarray(slots)
+        n = min(len(fingerprints), len(slot_arr))
+        hit_mask = slot_arr[:n] >= 0
+        self.lookups += n
+        n_hits = int(np.count_nonzero(hit_mask))
+        self.hits += n_hits
+        if n_hits and self._policy_tracks_hits:
+            # Hook order matters for stateful policies: ascending query
+            # index, exactly as the historical per-entry loop fired.
+            for qi in np.nonzero(hit_mask)[0].tolist():
+                self.policy.on_hit(self.bin_of(fingerprints[qi]),
+                                   int(slot_arr[qi]))
+        return hit_mask.tolist()
 
     def clear(self) -> None:
         """Drop every bin (device memory freed, statistics kept)."""

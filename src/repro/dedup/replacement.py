@@ -18,6 +18,8 @@ from repro.errors import IndexError_
 class ReplacementPolicy(ABC):
     """Chooses which slot of a full bin a new entry evicts."""
 
+    __slots__ = ()
+
     @abstractmethod
     def choose_victim(self, bin_id: int, capacity: int) -> int:
         """Slot index in [0, capacity) to evict."""
@@ -35,6 +37,8 @@ class ReplacementPolicy(ABC):
 class RandomReplacement(ReplacementPolicy):
     """The paper's default: evict a uniformly random slot."""
 
+    __slots__ = ("_rng",)
+
     def __init__(self, *, seed: int):
         self._rng = random.Random(seed)
 
@@ -46,6 +50,8 @@ class RandomReplacement(ReplacementPolicy):
 
 class FifoReplacement(ReplacementPolicy):
     """Evict slots in arrival order with a per-bin rotating cursor."""
+
+    __slots__ = ("_cursor",)
 
     def __init__(self) -> None:
         self._cursor: dict[int, int] = {}
@@ -63,6 +69,8 @@ class FifoReplacement(ReplacementPolicy):
 
 class LruReplacement(ReplacementPolicy):
     """Evict the least recently used slot, tracking hits and inserts."""
+
+    __slots__ = ("_clock", "_last_use")
 
     def __init__(self) -> None:
         self._clock = 0

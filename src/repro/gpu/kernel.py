@@ -16,7 +16,7 @@ from typing import Any
 from repro.errors import KernelError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KernelCost:
     """Resource footprint of one kernel launch.
 
@@ -51,6 +51,10 @@ class KernelCost:
 
 class Kernel(ABC):
     """A launchable GPU kernel: functional output + cost estimate."""
+
+    # Slot-free base so slotted subclasses really drop their __dict__;
+    # unslotted subclasses still get one automatically.
+    __slots__ = ()
 
     #: Human-readable kernel name used in traces and error messages.
     name: str = "kernel"

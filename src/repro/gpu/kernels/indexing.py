@@ -37,7 +37,7 @@ QUERY_BYTES = 20
 RESULT_BYTES = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class LookupBatch:
     """A batch of fingerprint lookups, one per GPU thread."""
 
@@ -59,13 +59,24 @@ class LookupBatch:
     def from_queries(
             cls, queries: Sequence[tuple[int, int, int]]) -> "LookupBatch":
         """Build a batch from (bin_id, suffix_lo, suffix_hi) triples."""
-        bin_ids = np.fromiter((q[0] for q in queries), dtype=np.uint32,
-                              count=len(queries))
-        lo = np.fromiter((q[1] for q in queries), dtype=np.uint64,
-                         count=len(queries))
-        hi = np.fromiter((q[2] for q in queries), dtype=np.uint64,
-                         count=len(queries))
-        return cls(bin_ids=bin_ids, lo=lo, hi=hi)
+        n = len(queries)
+        if n == 0:
+            return cls(bin_ids=np.empty(0, dtype=np.uint32),
+                       lo=np.empty(0, dtype=np.uint64),
+                       hi=np.empty(0, dtype=np.uint64))
+        # One C-level conversion pass instead of three generator sweeps.
+        arr = np.asarray(queries, dtype=np.uint64).reshape(n, 3)
+        return cls(bin_ids=arr[:, 0].astype(np.uint32),
+                   lo=np.ascontiguousarray(arr[:, 1]),
+                   hi=np.ascontiguousarray(arr[:, 2]))
+
+    @classmethod
+    def from_arrays(cls, bin_ids: np.ndarray, lo: np.ndarray,
+                    hi: np.ndarray) -> "LookupBatch":
+        """Build a batch from pre-decomposed query component arrays."""
+        return cls(bin_ids=np.ascontiguousarray(bin_ids, dtype=np.uint32),
+                   lo=np.ascontiguousarray(lo, dtype=np.uint64),
+                   hi=np.ascontiguousarray(hi, dtype=np.uint64))
 
 
 class BinLookupKernel(Kernel):
@@ -78,6 +89,10 @@ class BinLookupKernel(Kernel):
 
     name = "bin_lookup"
 
+    __slots__ = ("batch", "table", "costs", "use_simt",
+                 "workgroup_size", "_entries_scanned",
+                 "_longest_bin", "_cost_cache")
+
     def __init__(self, batch: LookupBatch,
                  table: Mapping[int, tuple[np.ndarray, np.ndarray, int]],
                  costs: GpuKernelCosts = DEFAULT_GPU_COSTS,
@@ -89,6 +104,8 @@ class BinLookupKernel(Kernel):
         self.use_simt = use_simt
         self.workgroup_size = workgroup_size
         self._entries_scanned: Optional[int] = None
+        self._longest_bin: Optional[int] = None
+        self._cost_cache: Optional[KernelCost] = None
 
     # -- functional execution ------------------------------------------------
 
@@ -109,27 +126,30 @@ class BinLookupKernel(Kernel):
         n = len(self.batch)
         slots = np.full(n, -1, dtype=np.int64)
         scanned = 0
-        # Group queries by bin so each bin's compare runs once per batch.
-        order = np.argsort(self.batch.bin_ids, kind="stable")
-        start = 0
         bin_ids = self.batch.bin_ids
-        while start < n:
-            end = start
-            bid = bin_ids[order[start]]
-            while end < n and bin_ids[order[end]] == bid:
-                end += 1
-            lo_arr, hi_arr, count = self._bin_view(int(bid))
-            idx = order[start:end]
-            scanned += count * len(idx)
+        qlo = self.batch.lo
+        qhi = self.batch.hi
+        # Group queries by bin so each bin's compare runs once per batch;
+        # the group boundaries come from one C-level neighbour compare.
+        order = np.argsort(bin_ids, kind="stable")
+        sorted_bins = bin_ids[order]
+        starts = np.nonzero(
+            np.r_[True, sorted_bins[1:] != sorted_bins[:-1]])[0]
+        ends = np.append(starts[1:], n)
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            idx = order[s:e]
+            lo_arr, hi_arr, count = self._bin_view(int(sorted_bins[s]))
+            scanned += count * (e - s)
             if count:
                 valid_lo = lo_arr[:count]
                 valid_hi = hi_arr[:count]
-                for qi in idx:
-                    hit = np.nonzero((valid_lo == self.batch.lo[qi])
-                                     & (valid_hi == self.batch.hi[qi]))[0]
-                    if hit.size:
-                        slots[qi] = hit[0]
-            start = end
+                # One 2-D broadcast compare for the whole group; argmax
+                # picks the first matching slot, as the scan order did.
+                eq = (valid_lo[None, :] == qlo[idx, None]) \
+                    & (valid_hi[None, :] == qhi[idx, None])
+                hit_any = eq.any(axis=1)
+                if hit_any.any():
+                    slots[idx[hit_any]] = eq[hit_any].argmax(axis=1)
         self._entries_scanned = scanned
         return slots
 
@@ -163,27 +183,38 @@ class BinLookupKernel(Kernel):
     def _scanned(self) -> int:
         if self._entries_scanned is None:
             # Cost may be requested before execution (the device prices the
-            # launch up front); derive the scan volume from the table.
+            # launch up front); derive the scan volume from the table once,
+            # walking each distinct bin a single time.
+            uniq, counts = np.unique(self.batch.bin_ids, return_counts=True)
             self._entries_scanned = sum(
-                self._bin_view(int(bid))[2] for bid in self.batch.bin_ids)
+                self._bin_view(int(bid))[2] * int(reps)
+                for bid, reps in zip(uniq, counts))
         return self._entries_scanned
 
     def cost(self) -> KernelCost:
+        # The batch and table view are fixed per launch, so the price is
+        # derived once and memoized: cost-before-execute == cost-after.
+        if self._cost_cache is not None:
+            return self._cost_cache
         scanned = self._scanned()
         n = len(self.batch)
-        longest_bin = max(
-            (self._bin_view(int(bid))[2] for bid in self.batch.bin_ids),
-            default=0)
+        if self._longest_bin is None:
+            self._longest_bin = max(
+                (self._bin_view(int(bid))[2]
+                 for bid in np.unique(self.batch.bin_ids)),
+                default=0)
         c = self.costs
-        return KernelCost(
+        self._cost_cache = KernelCost(
             name=self.name,
             threads=n,
             lane_cycles_total=(scanned * c.index_entry_lane_cycles
                                + n * c.index_fixed_lane_cycles),
-            critical_path_cycles=longest_bin * c.index_entry_latency_cycles,
+            critical_path_cycles=(self._longest_bin
+                                  * c.index_entry_latency_cycles),
             bytes_read=scanned * c.index_entry_bytes,
             bytes_written=n * RESULT_BYTES,
         )
+        return self._cost_cache
 
     def bytes_in(self) -> int:
         return len(self.batch) * QUERY_BYTES

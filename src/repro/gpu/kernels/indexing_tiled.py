@@ -48,6 +48,10 @@ class TiledBinLookupKernel(Kernel):
 
     name = "bin_lookup_tiled"
 
+    __slots__ = ("batch", "table", "costs", "workgroup_size",
+                 "tile_entries", "use_simt", "_by_bin",
+                 "_entries_staged", "_cost_cache")
+
     def __init__(self, batch: LookupBatch,
                  table: Mapping[int, tuple[np.ndarray, np.ndarray, int]],
                  costs: GpuKernelCosts = DEFAULT_GPU_COSTS,
@@ -64,9 +68,10 @@ class TiledBinLookupKernel(Kernel):
         self.use_simt = use_simt
         # Group query indices by bin: one workgroup handles one bin.
         self._by_bin: dict[int, list[int]] = {}
-        for qi, bin_id in enumerate(batch.bin_ids):
-            self._by_bin.setdefault(int(bin_id), []).append(qi)
+        for qi, bin_id in enumerate(batch.bin_ids.tolist()):
+            self._by_bin.setdefault(bin_id, []).append(qi)
         self._entries_staged: Optional[int] = None
+        self._cost_cache: Optional[KernelCost] = None
 
     # -- functional execution ------------------------------------------------
 
@@ -85,6 +90,8 @@ class TiledBinLookupKernel(Kernel):
     def _execute_vectorized(self) -> np.ndarray:
         slots = np.full(len(self.batch), -1, dtype=np.int64)
         staged = 0
+        qlo = self.batch.lo
+        qhi = self.batch.hi
         for bin_id, query_indices in self._by_bin.items():
             lo_arr, hi_arr, count = self._bin_view(bin_id)
             staged += count
@@ -92,11 +99,14 @@ class TiledBinLookupKernel(Kernel):
                 continue
             valid_lo = lo_arr[:count]
             valid_hi = hi_arr[:count]
-            for qi in query_indices:
-                hit = np.nonzero((valid_lo == self.batch.lo[qi])
-                                 & (valid_hi == self.batch.hi[qi]))[0]
-                if hit.size:
-                    slots[qi] = hit[0]
+            # One 2-D broadcast compare per bin (the whole workgroup's
+            # queries at once); argmax picks the first matching slot.
+            idx = np.asarray(query_indices)
+            eq = (valid_lo[None, :] == qlo[idx, None]) \
+                & (valid_hi[None, :] == qhi[idx, None])
+            hit_any = eq.any(axis=1)
+            if hit_any.any():
+                slots[idx[hit_any]] = eq[hit_any].argmax(axis=1)
         self._entries_staged = staged
         return slots
 
@@ -153,12 +163,18 @@ class TiledBinLookupKernel(Kernel):
         return self._entries_staged
 
     def cost(self) -> KernelCost:
+        # Batch and table view are fixed per launch: derive once, memoize.
+        if self._cost_cache is not None:
+            return self._cost_cache
         staged = self._staged()  # each bin read from global ONCE
         n = len(self.batch)
-        compares = sum(self._bin_view(bin_id)[2] * len(qis)
-                       for bin_id, qis in self._by_bin.items())
-        longest_bin = max((self._bin_view(b)[2] for b in self._by_bin),
-                          default=0)
+        compares = 0
+        longest_bin = 0
+        for bin_id, qis in self._by_bin.items():
+            count = self._bin_view(bin_id)[2]
+            compares += count * len(qis)
+            if count > longest_bin:
+                longest_bin = count
         tiles = -(-max(longest_bin, 1) // self.tile_entries)
         c = self.costs
         lane_cycles = (staged * STAGE_CYCLES_PER_ENTRY
@@ -171,7 +187,7 @@ class TiledBinLookupKernel(Kernel):
                     / self.workgroup_size
                     + self.tile_entries * LOCAL_COMPARE_CYCLES
                     + BARRIER_CYCLES)
-        return KernelCost(
+        self._cost_cache = KernelCost(
             name=self.name,
             threads=len(self._by_bin) * self.workgroup_size,
             lane_cycles_total=lane_cycles,
@@ -179,6 +195,7 @@ class TiledBinLookupKernel(Kernel):
             bytes_read=staged * c.index_entry_bytes,
             bytes_written=n * RESULT_BYTES,
         )
+        return self._cost_cache
 
     def bytes_in(self) -> int:
         return len(self.batch) * QUERY_BYTES

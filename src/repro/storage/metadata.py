@@ -31,7 +31,7 @@ from typing import Optional
 from repro.errors import MetadataError
 
 
-@dataclass
+@dataclass(slots=True)
 class ChunkRecord:
     """One stored chunk."""
 
@@ -58,6 +58,10 @@ class ChunkRecord:
 
 class MetadataStore:
     """Physical chunk table + fingerprint map + logical map."""
+
+    __slots__ = ("_by_id", "_by_fingerprint", "_logical",
+                 "_next_physical", "logical_bytes", "physical_bytes",
+                 "restarts")
 
     def __init__(self) -> None:
         #: The durable side: physical id -> record.

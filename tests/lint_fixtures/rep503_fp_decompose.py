@@ -1,0 +1,25 @@
+# repro-lint: module=repro.dedup.fakeindex
+"""Fixture: REP503 — fingerprint decomposed outside the audited helper."""
+
+from repro.dedup.index_base import decompose
+
+
+def bin_of(fingerprint: bytes) -> int:
+    prefix = fingerprint[:2]  # expect REP503 on this line (8)
+    return int.from_bytes(prefix, "big")  # expect REP503 on this line (9)
+
+
+def suffix_of(fp: bytes) -> bytes:
+    return fp[2:]  # expect REP503 on this line (13)
+
+
+def shared_view_is_fine(fingerprint: bytes) -> int:
+    return decompose(fingerprint, 2).bin_id
+
+
+def plain_lookup_is_fine(fingerprint: bytes, table: dict) -> object:
+    return table[fingerprint]  # subscript without a slice: legal
+
+
+def other_bytes_are_fine(payload: bytes) -> bytes:
+    return payload[4:8]  # not a fingerprint name: legal

@@ -44,6 +44,8 @@ EXPECTED = {
     "rep401_layering.py": [("REP401", 4)],
     "rep501_float_eq.py": [("REP501", 6), ("REP501", 8)],
     "rep502_byte_loop.py": [("REP502", 7), ("REP502", 14)],
+    "rep503_fp_decompose.py": [("REP503", 8), ("REP503", 9),
+                               ("REP503", 13)],
     "rep601_now_arith.py": [("REP601", 6), ("REP601", 7)],
 }
 
