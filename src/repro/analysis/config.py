@@ -127,6 +127,22 @@ class LintConfig:
         "repro.compression", "repro.gpu.kernels",
     )
 
+    # -- batched functional plane (REP504) ---------------------------------
+    #: Modules whose functional work is window-batched; a per-chunk
+    #: Python loop over a chunk sequence there regresses the batched
+    #: plane (DESIGN.md §12).  Audited per-chunk sites (the window
+    #: implementations themselves, the retained reference path, the
+    #: timed admission loop) live in the baseline.
+    batched_plane_scope: tuple[str, ...] = (
+        "repro.core.pipeline", "repro.chunkbatch",
+        "repro.dedup.hashing", "repro.compression.parallel_cpu",
+        "repro.workload.vdbench",
+    )
+    #: Bare names treated as chunk sequences when iterated.
+    chunkseq_names: tuple[str, ...] = (
+        "chunks", "window", "batch", "chunk_window",
+    )
+
     # -- fingerprint decomposition (REP503) --------------------------------
     #: Packages where per-fingerprint ``int.from_bytes`` / slicing is
     #: flagged: derived fingerprint fields come from the shared

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig
+from repro.analysis.rules.batchplane import ChunkLoopChecker
 from repro.analysis.rules.dataplane import (
     ByteLoopMatchExtensionChecker,
     FingerprintDecomposeChecker,
@@ -39,6 +40,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     FloatTimeEqualityChecker,  # REP501
     ByteLoopMatchExtensionChecker,  # REP502
     FingerprintDecomposeChecker,   # REP503
+    ChunkLoopChecker,          # REP504
     NowArithmeticChecker,      # REP601
 )
 

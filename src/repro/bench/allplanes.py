@@ -1,0 +1,130 @@
+"""One command over every bench plane: ``repro bench all``.
+
+Runs the four perf planes back to back — engine hot path, data-plane
+functional loops, dedup index plane, batched functional pipeline — and
+folds their scenario timings into a single baseline-vs-current summary
+table, so "did anything regress?" is one invocation instead of four.
+
+Each plane keeps its own pinned seed baselines and identity checks;
+this driver only aggregates.  It deliberately passes ``out_path=None``
+to every plane so a summary sweep never clobbers the committed
+``BENCH_*.json`` snapshots (use the per-plane subcommands to refresh
+those).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: Plane order in the summary (also the run order: fast first).
+PLANES = ("engine", "dataplane", "dedup", "pipeline")
+
+
+def _scenario_rows(plane: str, results: dict) -> list[dict[str, Any]]:
+    """Extract ``baseline vs current`` rows from one plane's results.
+
+    A scenario qualifies when its entry pins a ``baseline_<rate>`` next
+    to the measured ``<rate>`` and a ``speedup`` — the shape every
+    plane's ``_rate_entry`` helper emits.  Seconds-based entries (the
+    engine's per-mode E4 timings) are folded into the plane aggregate
+    instead of listed per scenario.
+    """
+    rows = []
+    for key, entry in results.items():
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            continue
+        baseline_key = next(
+            (k for k in entry
+             if k.startswith("baseline_") and k.endswith("_per_s")), None)
+        if baseline_key is None:
+            continue
+        rate_key = baseline_key[len("baseline_"):]
+        rows.append({
+            "plane": plane,
+            "scenario": entry.get("scenario", key),
+            "unit": rate_key.replace("_per_s", "/s"),
+            "current": entry[rate_key],
+            "baseline": entry[baseline_key],
+            "speedup": entry["speedup"],
+        })
+    return rows
+
+
+def _plane_aggregate(plane: str, results: dict,
+                     rows: list[dict]) -> Optional[float]:
+    """Plane-level speedup: the plane's own aggregate if it publishes
+    one, else the geomean of its scenario speedups."""
+    aggregate = results.get("aggregate_speedup")
+    if aggregate is None and plane == "engine":
+        aggregate = results.get("e4", {}).get("aggregate_speedup")
+    if aggregate is None and rows:
+        product = 1.0
+        for row in rows:
+            product *= row["speedup"]
+        aggregate = product ** (1.0 / len(rows))
+    return aggregate
+
+
+def _plane_identity(plane: str, results: dict) -> bool:
+    if plane == "engine":
+        return bool(results.get("e4", {}).get("fields_ok", True))
+    return bool(results.get("fields_ok", True))
+
+
+def run_all_benches(quick: bool = False) -> dict:
+    """Run every plane (identity checks included); return the summary.
+
+    ``quick`` is forwarded to the planes that support it; the engine
+    plane always runs at the golden chunk count because its pinned
+    baselines are only meaningful there.
+    """
+    from repro.bench.dataplane import run_dataplane_bench
+    from repro.bench.dedup import run_dedup_bench
+    from repro.bench.perf import run_engine_bench
+    from repro.bench.pipeline import run_pipeline_bench
+
+    plane_results = {
+        "engine": run_engine_bench(out_path=None),
+        "dataplane": run_dataplane_bench(quick=quick, out_path=None),
+        "dedup": run_dedup_bench(quick=quick, out_path=None),
+        "pipeline": run_pipeline_bench(quick=quick, out_path=None),
+    }
+    rows: list[dict[str, Any]] = []
+    aggregates: dict[str, Optional[float]] = {}
+    identity: dict[str, bool] = {}
+    for plane in PLANES:
+        results = plane_results[plane]
+        plane_rows = _scenario_rows(plane, results)
+        rows.extend(plane_rows)
+        aggregates[plane] = _plane_aggregate(plane, results, plane_rows)
+        identity[plane] = _plane_identity(plane, results)
+    return {
+        "bench": "all-planes",
+        "quick": quick,
+        "rows": rows,
+        "aggregates": aggregates,
+        "identity": identity,
+        "fields_ok": all(identity.values()),
+        "planes": plane_results,
+    }
+
+
+def render_all_benches(results: dict) -> str:
+    """The combined baseline-vs-current table plus plane verdicts."""
+    header = (f"{'plane':<10} {'scenario':<20} {'current':>15} "
+              f"{'baseline':>15} {'unit':>10} {'speedup':>8}")
+    lines = [header, "-" * len(header)]
+    for row in results["rows"]:
+        lines.append(f"{row['plane']:<10} {row['scenario']:<20} "
+                     f"{row['current']:>15,.0f} {row['baseline']:>15,.0f} "
+                     f"{row['unit']:>10} {row['speedup']:>7.2f}x")
+    lines.append("-" * len(header))
+    for plane in PLANES:
+        aggregate = results["aggregates"].get(plane)
+        speed = f"{aggregate:.2f}x" if aggregate is not None else "n/a"
+        verdict = "ok" if results["identity"].get(plane) else "DRIFT"
+        lines.append(f"{plane:<10} {'aggregate':<20} {speed:>9}   "
+                     f"identity {verdict}")
+    lines.append(f"identity overall: "
+                 f"{'ok' if results['fields_ok'] else 'DRIFT'}")
+    return "\n".join(lines)

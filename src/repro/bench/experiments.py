@@ -783,13 +783,15 @@ def a14_ftl_endurance(blocks: int = 64, pages_per_block: int = 64,
         physical_pages = max(1, int(logical_pages / factor))
         rng = _random.Random(seed)
         # Initial fill.
-        for lpn in range(physical_pages):
-            ftl.write(lpn)
+        ftl.write_run(list(range(physical_pages)))
         # Churn: every logical overwrite lands as 1/factor physical
         # writes on average (duplicates and compression absorb the rest).
+        # The target list is drawn up front (the FTL never touches the
+        # RNG, so the draw order is unchanged) and written as one run —
+        # state-identical to per-page write() calls.
         churn_writes = int(logical_pages * churn_rounds / factor)
-        for _ in range(churn_writes):
-            ftl.write(rng.randrange(physical_pages))
+        ftl.write_run([rng.randrange(physical_pages)
+                       for _ in range(churn_writes)])
         ftl.check_invariants()
         rows.append(A14Row(
             strategy=strategy,

@@ -1,0 +1,154 @@
+"""Array-native chunk windows for the batched functional plane.
+
+The per-chunk functional plane pays a Python frame, a dataclass
+``__init__`` and a ``__post_init__`` validation per chunk — measurable
+at descriptor-mode benchmark scale, where millions of chunks are pure
+accounting.  A :class:`ChunkBatch` holds one *window* of chunks as
+contiguous arrays (numpy ``int64`` offsets/sizes plus object columns
+for payloads/fingerprints), validates the whole window once, and
+materializes slotted :class:`~repro.types.Chunk` objects through a
+hoisted fast constructor that skips the per-instance re-validation.
+
+Invariant (DESIGN.md §12): a materialized window is *element-wise
+equal* to the chunks the per-chunk path would have produced — batching
+here is a layout change, never a semantic one.  REP504 patrols the
+modules of this plane for regressions to per-chunk loops.
+
+The module sits beside :mod:`repro.types` (not under ``repro.core``) so
+the workload generators can emit batches without importing the core
+package — ``repro.core.calibration`` imports the workload layer, and a
+batch container inside ``repro.core`` would close an import cycle.
+"""
+
+from __future__ import annotations
+
+from itertools import islice
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.types import Chunk, FINGERPRINT_BYTES
+
+__all__ = ["ChunkBatch", "iter_windows"]
+
+#: Reusable empty columns for descriptor-only / payload-only windows.
+_chunk_new = Chunk.__new__
+
+
+class ChunkBatch:
+    """One contiguous window of chunk descriptors.
+
+    ``offsets`` and ``sizes`` are ``int64`` numpy arrays; ``payloads``,
+    ``fingerprints`` and ``comp_ratios`` are per-chunk object columns
+    (``None`` entries follow the same payload/descriptor-mode rules as
+    :class:`~repro.types.Chunk`).
+    """
+
+    __slots__ = ("offsets", "sizes", "payloads", "fingerprints",
+                 "comp_ratios")
+
+    def __init__(self, offsets: np.ndarray, sizes: np.ndarray,
+                 payloads: Sequence[Optional[bytes]],
+                 fingerprints: Sequence[Optional[bytes]],
+                 comp_ratios: Sequence[Optional[float]],
+                 validate: bool = True):
+        self.offsets = offsets
+        self.sizes = sizes
+        self.payloads = payloads
+        self.fingerprints = fingerprints
+        self.comp_ratios = comp_ratios
+        if validate:
+            self.validate()
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_chunks(cls, chunks: Sequence[Chunk]) -> "ChunkBatch":
+        """Column-split an already-validated chunk sequence."""
+        offsets = np.fromiter((c.offset for c in chunks), dtype=np.int64,
+                              count=len(chunks))
+        sizes = np.fromiter((c.size for c in chunks), dtype=np.int64,
+                            count=len(chunks))
+        return cls(offsets, sizes,
+                   [c.payload for c in chunks],
+                   [c.fingerprint for c in chunks],
+                   [c.comp_ratio for c in chunks],
+                   validate=False)
+
+    # -- whole-window validation (hoisted Chunk.__post_init__) ---------------
+
+    def validate(self) -> None:
+        """One pass of the per-chunk ``__post_init__`` checks."""
+        n = len(self.sizes)
+        if not (len(self.offsets) == len(self.payloads)
+                == len(self.fingerprints) == len(self.comp_ratios) == n):
+            raise ConfigError("ragged chunk-batch columns")
+        if n == 0:
+            return
+        if int(self.sizes.min()) <= 0:
+            bad = int(self.sizes[self.sizes <= 0][0])
+            raise ConfigError(f"invalid chunk size {bad}")
+        if int(self.offsets.min()) < 0:
+            bad = int(self.offsets[self.offsets < 0][0])
+            raise ConfigError(f"invalid chunk offset {bad}")
+        sizes = self.sizes.tolist()
+        for payload, size in zip(self.payloads, sizes):
+            if payload is not None and len(payload) != size:
+                raise ConfigError(
+                    f"payload length {len(payload)} != size {size}")
+        for fingerprint in self.fingerprints:
+            if fingerprint is not None \
+                    and len(fingerprint) != FINGERPRINT_BYTES:
+                raise ConfigError(
+                    f"fingerprint must be {FINGERPRINT_BYTES} bytes")
+
+    # -- materialization ----------------------------------------------------
+
+    def materialize(self) -> list[Chunk]:
+        """Slotted :class:`Chunk` objects, element-wise equal to the
+        per-chunk construction of the same descriptors.
+
+        Validation already ran over the whole window, so the fast
+        constructor skips ``__post_init__``; ``tolist()`` converts the
+        numpy scalars back to plain ints so downstream accounting sums
+        (and JSON report serialization) see native Python integers.
+        """
+        new = _chunk_new
+        out = []
+        append = out.append
+        for offset, size, payload, fingerprint, comp_ratio in zip(
+                self.offsets.tolist(), self.sizes.tolist(),
+                self.payloads, self.fingerprints, self.comp_ratios):
+            chunk = new(Chunk)
+            chunk.offset = offset
+            chunk.size = size
+            chunk.payload = payload
+            chunk.fingerprint = fingerprint
+            chunk.comp_ratio = comp_ratio
+            chunk.is_duplicate = None
+            chunk.compressed_size = None
+            append(chunk)
+        return out
+
+
+def iter_windows(chunks: Iterable[Chunk],
+                 window: int) -> Iterator[list[Chunk]]:
+    """Successive ``window``-sized lists from a chunk iterable.
+
+    The batched feeder's materialization step: pulling a window up
+    front lets the functional passes (hashing, codec dispatch) run once
+    per window instead of once per chunk, while admission below stays
+    strictly per-chunk (the timed plane is untouched).
+    """
+    if window < 1:
+        raise ConfigError(f"invalid window size {window}")
+    iterator = iter(chunks)
+    while True:
+        out = list(islice(iterator, window))
+        if not out:
+            return
+        yield out

@@ -282,6 +282,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
               f"(wall {time.time() - started:.1f} s) ===")
         print(render_dedup_bench(results))
         return 0 if results["fields_ok"] else 1
+    if args.experiment == "pipeline":
+        from repro.bench.pipeline import (
+            render_pipeline_bench,
+            run_pipeline_bench,
+        )
+
+        started = time.time()
+        results = run_pipeline_bench(quick=args.quick,
+                                     profile=args.profile,
+                                     trace_path=args.trace)
+        print(f"=== batched functional pipeline "
+              f"(wall {time.time() - started:.1f} s) ===")
+        print(render_pipeline_bench(results))
+        return 0 if results["fields_ok"] else 1
+    if args.experiment == "all":
+        from repro.bench.allplanes import (
+            render_all_benches,
+            run_all_benches,
+        )
+
+        started = time.time()
+        results = run_all_benches(quick=args.quick)
+        print(f"=== all bench planes "
+              f"(wall {time.time() - started:.1f} s) ===")
+        print(render_all_benches(results))
+        return 0 if results["fields_ok"] else 1
     experiments = registry()
     if args.experiment == "list":
         for name in experiments:
@@ -289,6 +315,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("engine")
         print("dataplane")
         print("dedup")
+        print("pipeline")
+        print("all")
         return 0
     runner = experiments.get(args.experiment)
     if runner is None:

@@ -57,6 +57,10 @@ class GpuBatcher:
         self._running = True
         self.batches_launched = 0
         self.items_processed = 0
+        #: Launch-size histogram: items-per-launch -> launch count.
+        #: Under-filled launches are the paper's launch-overhead tax;
+        #: this makes them measurable instead of inferred.
+        self.fill_counts: dict[int, int] = {}
         env.process(self._dispatch_loop())
 
     def submit(self, item: Any, trace_id: Optional[int] = None) -> Event:
@@ -68,6 +72,35 @@ class GpuBatcher:
         done = self.env.event()
         self._inbox.put((item, done, self.env.now, trace_id))
         return done
+
+    def fill_summary(self) -> dict[str, float]:
+        """Batch fill statistics: how full launches actually were.
+
+        ``mean_fill``/``p50_fill`` are items per launch; ``fill_fraction``
+        is the mean as a fraction of the configured ``batch_size`` (1.0 =
+        every launch full, low values = the fixed launch overhead is
+        being paid for mostly-empty batches).
+        """
+        counts = self.fill_counts
+        launches = sum(counts.values())
+        if not launches:
+            return {"batches": 0, "batch_size": float(self.batch_size),
+                    "mean_fill": 0.0, "p50_fill": 0.0,
+                    "fill_fraction": 0.0}
+        total = sum(size * n for size, n in sorted(counts.items()))
+        half = (launches + 1) // 2
+        cumulative = 0
+        p50 = 0
+        for size in sorted(counts):
+            cumulative += counts[size]
+            if cumulative >= half:
+                p50 = size
+                break
+        mean = total / launches
+        return {"batches": float(launches),
+                "batch_size": float(self.batch_size),
+                "mean_fill": mean, "p50_fill": float(p50),
+                "fill_fraction": mean / self.batch_size}
 
     def stop(self) -> None:
         """Ask the dispatcher to exit once the inbox drains."""
@@ -116,6 +149,8 @@ class GpuBatcher:
                 f"results for {len(items)} items")
         self.batches_launched += 1
         self.items_processed += len(items)
+        self.fill_counts[len(items)] = \
+            self.fill_counts.get(len(items), 0) + 1
         if self.tracer.enabled and self.stage is not None:
             # One span per item: submit -> launch completion.  Batching
             # delay and command-queue wait both count as queue wait; the

@@ -90,7 +90,9 @@ def run_mode(mode: IntegrationMode, n_chunks: int,
                                  tracer=tracer)
     stream = VdbenchStream(dedup_ratio=dedup_ratio, comp_ratio=comp_ratio,
                            chunk_size=config.chunk_size, seed=seed)
-    return pipeline.run(stream.chunks(n_chunks), total=n_chunks)
+    source = (stream.chunks_batched(n_chunks, config.functional_batch)
+              if config.batched_functional else stream.chunks(n_chunks))
+    return pipeline.run(source, total=n_chunks)
 
 
 def calibrate_mode(base_config: Optional[PipelineConfig] = None,

@@ -82,6 +82,18 @@ class PipelineConfig:
     #: the bins replace (the P-Dedupe-class baseline of §5).
     index_locking: str = "bins"
 
+    # -- batched functional plane -----------------------------------------
+    #: Operate the functional plane on chunk *windows* instead of one
+    #: chunk at a time: the feeder materializes windows, fingerprints
+    #: them in one batched hashing pass, pre-dispatches codec windows
+    #: (dedup-disabled configurations), and coalesces the shutdown-drain
+    #: destage into one vectored SSD request.  Timed per-chunk event
+    #: ordering is untouched — only untimed functional work is batched —
+    #: so reports are byte-identical with the flag off (DESIGN.md §12).
+    batched_functional: bool = True
+    #: Chunks per functional-plane window.
+    functional_batch: int = 64
+
     # -- arrival shaping ------------------------------------------------------
     #: Open-loop arrival rate in chunks/second; None (default) feeds the
     #: pipeline as fast as the window admits (closed-loop, the
@@ -126,6 +138,9 @@ class PipelineConfig:
             raise ConfigError(
                 f"window {self.window} smaller than the GPU batch size — "
                 "batches would never fill")
+        if self.functional_batch < 1:
+            raise ConfigError(
+                f"invalid functional_batch {self.functional_batch}")
         if self.codec_memo_entries < 0:
             raise ConfigError(
                 f"invalid codec_memo_entries {self.codec_memo_entries}")

@@ -35,18 +35,20 @@ from __future__ import annotations
 
 from typing import Generator, Iterable, Optional
 
+from repro.chunkbatch import iter_windows
 from repro.core.batcher import GpuBatcher
 from repro.core.config import PipelineConfig
 from repro.core.scheduler import OffloadScheduler
 from repro.core.stats import PipelineReport
 from repro.compression.gpu_lz import GpuCompressor
 from repro.compression.memo import CodecMemo
-from repro.compression.parallel_cpu import CpuCompressor
+from repro.compression.parallel_cpu import CompressionResult, CpuCompressor
 from repro.cpu.costs import CpuCosts, DEFAULT_COSTS
 from repro.cpu.model import SimCpu
 from repro.dedup.engine import DedupEngine
 from repro.dedup.gpu_index import GpuBinIndex
-from repro.dedup.hashing import fingerprint_chunk
+from repro.dedup.hashing import (PayloadHashMemo, fingerprint_chunk,
+                                 fingerprint_window)
 from repro.dedup.replacement import RandomReplacement
 from repro.errors import ConfigError
 from repro.gpu.costs import DEFAULT_GPU_COSTS, GpuKernelCosts
@@ -141,6 +143,10 @@ class ReductionPipeline:
         #: compressing the same content twice (standard inline-dedup
         #: in-flight tracking).
         self._pending: dict[bytes, object] = {}
+        #: Batched functional plane: compression results the feeder
+        #: precomputed per admission seq (dedup-disabled configs only,
+        #: where every chunk reaches compression exactly once).
+        self._precomp: dict[int, CompressionResult] = {}
         self._done = 0
         self._total = 0
         self._finished = env.event()
@@ -223,7 +229,10 @@ class ReductionPipeline:
             cfg = self.config
             costs = self.costs
             if cfg.enable_dedup:
-                fingerprint_chunk(chunk)
+                if chunk.fingerprint is None:
+                    # The batched feeder fingerprints whole windows up
+                    # front; only per-chunk admission still hashes here.
+                    fingerprint_chunk(chunk)
                 # One coalesced charge for ingest (chunk + hash) plus the
                 # stage handoff: a single acquire/hold/release round trip.
                 ingest = (self.dedup.ingest_cycles(chunk,
@@ -349,7 +358,9 @@ class ReductionPipeline:
                             expected_service_s=self.cpu.seconds(cycles))
                 else:
                     start = self.env.now if trace is not None else 0.0
-                    result = self.cpu_comp.compress(chunk)
+                    result = self._precomp.pop(seq, None)
+                    if result is None:
+                        result = self.cpu_comp.compress(chunk)
                     cycles = result.cpu_cycles + costs.handoff_per_chunk
                     yield self.cpu.charge(cycles)
                     if trace is not None:
@@ -420,9 +431,23 @@ class ReductionPipeline:
 
         self.env.process(destage())
 
+    def _spawn_destage_vector(self, sizes: list[int],
+                              sequential: bool) -> None:
+        def destage() -> Generator:
+            with self.tracer.span(STAGE_DESTAGE, resource=TRACK_DESTAGE,
+                                  bytes=sum(sizes), sequential=sequential,
+                                  vector=len(sizes)):
+                yield from self.ssd.submit_vector(sizes,
+                                                  sequential=sequential)
+
+        self.env.process(destage())
+
     # -- run ----------------------------------------------------------------
 
     def _feeder(self, chunks: Iterable[Chunk]) -> Generator:
+        if self.config.batched_functional:
+            yield from self._feeder_batched(chunks)
+            return
         rate = self.config.arrival_rate_iops
         gap = 1.0 / rate if rate else 0.0
         next_admission = 0.0
@@ -442,6 +467,55 @@ class ReductionPipeline:
                                    resource=TRACK_WINDOW)
             self.bytes_in += chunk.size
             self.env.process(self._chunk_worker(chunk, request, seq))
+
+    def _feeder_batched(self, chunks: Iterable[Chunk]) -> Generator:
+        """Window-batched feeder: the array-native functional plane.
+
+        Per window, the untimed functional work runs once up front —
+        one fingerprint pass (duplicate payloads resolved by LRU probe
+        instead of a fresh SHA-1) and, in dedup-disabled configurations,
+        one grouped codec dispatch whose results the workers pop by
+        admission seq.  Admission itself — pacing, window-slot
+        acquisition, worker spawn — stays strictly per chunk, so the
+        timed event schedule (and therefore every report field) is
+        identical to the per-chunk feeder's (DESIGN.md §12).
+        """
+        cfg = self.config
+        rate = cfg.arrival_rate_iops
+        gap = 1.0 / rate if rate else 0.0
+        next_admission = 0.0
+        trace = self.tracer if self.tracer.enabled else None
+        hash_memo = PayloadHashMemo() if cfg.enable_dedup else None
+        precompress = (cfg.enable_compression and not cfg.enable_dedup
+                       and self._comp_batcher is None)
+        precomp = self._precomp
+        seq = 0
+        for window in iter_windows(chunks, cfg.functional_batch):
+            if hash_memo is not None:
+                fingerprint_window(window, memo=hash_memo)
+            if precompress:
+                # Safe exactly because dedup is off: every chunk
+                # reaches compression once, in admission order, and
+                # the codecs are pure — see compress_window.
+                results = self.cpu_comp.compress_window(window)
+                for i, result in enumerate(results):
+                    precomp[seq + i] = result
+            for chunk in window:
+                if gap:
+                    delay = next_admission - self.env.now
+                    if delay > 0:
+                        yield self.env.timeout(delay)
+                    next_admission = max(next_admission,
+                                         self.env.now) + gap
+                request = self._window.request()
+                requested = self.env.now if trace is not None else 0.0
+                yield request
+                if trace is not None:
+                    trace.record_since(STAGE_ADMISSION, seq, requested,
+                                       resource=TRACK_WINDOW)
+                self.bytes_in += chunk.size
+                self.env.process(self._chunk_worker(chunk, request, seq))
+                seq += 1
 
     def run(self, chunks: Iterable[Chunk], total: int) -> PipelineReport:
         """Process ``total`` chunks from ``chunks`` and report.
@@ -464,6 +538,12 @@ class ReductionPipeline:
                 batcher.stop()
         # Shutdown drain: partially filled bins still hold staged data;
         # it must reach the SSD for the endurance ledger to balance.
+        # The drain stays event-per-batch even in batched mode: a
+        # coalesced submit_vector reproduces the wear ledger and the
+        # *sum* of channel busy time exactly, but the utilization
+        # integral accumulates through a different float segmentation
+        # and drifts by an ULP — and the report contract is *byte*
+        # identity, not mathematical identity (DESIGN.md §12).
         if self.dedup is not None and self.config.destage_enabled:
             for batch in self.dedup.drain():
                 self._spawn_destage(batch.payload_bytes, sequential=True)
@@ -549,4 +629,12 @@ class ReductionPipeline:
                     "batches_launched": batcher.batches_launched,
                     "items_processed": batcher.items_processed,
                 })
+                fill = batcher.fill_summary()
+                prefix = f"batcher.{batcher.name}"
+                registry.gauge(f"{prefix}.fill_mean").set(
+                    fill["mean_fill"])
+                registry.gauge(f"{prefix}.fill_p50").set(
+                    fill["p50_fill"])
+                registry.gauge(f"{prefix}.fill_fraction").set(
+                    fill["fill_fraction"])
         return registry

@@ -90,6 +90,44 @@ def _aggregate(stage: str, group: list[Span], n_chunks: int,
 
 
 @dataclass
+class BatcherFill:
+    """Launch fill statistics for one GPU batcher, from its item spans.
+
+    Every item span carries its launch's ``batch`` size and completion
+    time, so distinct launches are recovered as distinct ``(resource,
+    end)`` pairs — the device queue is in-order, two launches of the
+    same batcher never complete at the same instant.
+    """
+
+    name: str
+    launches: int = 0
+    mean_fill: float = 0.0
+    p50_fill: float = 0.0
+
+    def row(self) -> str:
+        return (f"{self.name:<13} {self.launches:>7} "
+                f"{self.mean_fill:>10.1f} {self.p50_fill:>10.1f}")
+
+
+def _batcher_fills(spans: list[Span]) -> list[BatcherFill]:
+    launches: dict[str, dict[float, int]] = {}
+    for span in spans:
+        attrs = span.attrs
+        if not attrs or "batch" not in attrs or span.resource is None:
+            continue
+        launches.setdefault(span.resource, {})[span.end] = attrs["batch"]
+    fills = []
+    for name in sorted(launches):
+        sizes = sorted(launches[name].values())
+        n = len(sizes)
+        fills.append(BatcherFill(
+            name=name, launches=n,
+            mean_fill=sum(sizes) / n,
+            p50_fill=float(sizes[(n - 1) // 2])))
+    return fills
+
+
+@dataclass
 class CriticalPathReport:
     """Stage-by-stage attribution of the mean inline chunk latency."""
 
@@ -105,6 +143,8 @@ class CriticalPathReport:
     admission: Optional[StageBreakdown] = None
     #: Resource-track activity (destage, SSD, kernels) by stage name.
     background: list[StageBreakdown] = field(default_factory=list)
+    #: Per-batcher launch fill (mean/P50 items per launch).
+    batcher_fills: list[BatcherFill] = field(default_factory=list)
 
     @classmethod
     def from_spans(cls, spans: Iterable[Span]) -> "CriticalPathReport":
@@ -112,7 +152,10 @@ class CriticalPathReport:
         admission: list[Span] = []
         inline: dict[str, list[Span]] = {}
         background: dict[str, list[Span]] = {}
+        batched: list[Span] = []
         for span in spans:
+            if span.attrs and "batch" in span.attrs:
+                batched.append(span)
             if span.chunk_id is None:
                 background.setdefault(span.stage, []).append(span)
             elif span.stage == STAGE_CHUNK:
@@ -147,6 +190,7 @@ class CriticalPathReport:
             background=[_aggregate(stage, background[stage], n_chunks,
                                    mean_latency)
                         for stage in sorted(background)],
+            batcher_fills=_batcher_fills(batched),
         )
         return report
 
@@ -173,6 +217,11 @@ class CriticalPathReport:
             lines.append("-" * len(header))
             lines.append("background (not on the inline path):")
             lines += [b.row() for b in self.background]
+        if self.batcher_fills:
+            lines.append("-" * len(header))
+            lines.append(f"{'batcher fill':<13} {'launches':>7} "
+                         f"{'mean':>10} {'p50':>10}")
+            lines += [f.row() for f in self.batcher_fills]
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -197,4 +246,8 @@ class CriticalPathReport:
             "admission": (breakdown(self.admission)
                           if self.admission else None),
             "background": [breakdown(b) for b in self.background],
+            "batcher_fills": [{
+                "name": f.name, "launches": f.launches,
+                "mean_fill": f.mean_fill, "p50_fill": f.p50_fill,
+            } for f in self.batcher_fills],
         }, indent=2)

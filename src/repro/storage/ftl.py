@@ -119,28 +119,58 @@ class Ftl:
 
     def _collect(self) -> None:
         """Greedy GC: evacuate and erase min-valid closed blocks."""
-        while len(self._free) <= self.spec.gc_low_water:
-            victim = min(
-                (block for block in self._blocks
-                 if block is not self._open
-                 and block.write_pointer == len(block.pages)),
-                key=lambda block: block.valid,
-                default=None)
+        pages_per_block = self.spec.pages_per_block
+        gc_low_water = self.spec.gc_low_water
+        blocks = self._blocks
+        free = self._free
+        mapping = self._mapping
+        mapping_pop = mapping.pop
+        while len(free) <= gc_low_water:
+            # First minimum in block order — what min() over the closed
+            # blocks picks — scanned explicitly so the hot path pays no
+            # generator/lambda machinery, with an early exit at valid==0
+            # (the key's floor, so the first such block *is* the min).
+            open_block = self._open
+            victim = None
+            best = 0
+            for block in blocks:
+                if (block is open_block
+                        or block.write_pointer != pages_per_block):
+                    continue
+                valid = block.valid
+                if victim is None or valid < best:
+                    victim = block
+                    best = valid
+                    if valid == 0:
+                        break
             if victim is None:
                 return
-            if victim.valid >= self.spec.pages_per_block:
+            if best >= pages_per_block:
                 # Nothing reclaimable anywhere: every page valid.
                 return
             survivors = [lpn for lpn in victim.pages if lpn is not None]
             victim.erase()
             self.erases += 1
-            self._free.append(victim.index)
+            free.append(victim.index)
+            # Survivor mappings still point at the erased block; drop
+            # each and re-program into the open log (inlined _program,
+            # with the same roll-on-full check before every page).
+            open_block = self._open
+            copied = 0
             for lpn in survivors:
-                # The survivor's mapping still points at the erased
-                # block; drop it and re-program into the open log.
-                self._mapping.pop(lpn, None)
-                self._program(lpn)
-                self.gc_copies += 1
+                mapping_pop(lpn, None)
+                if open_block.write_pointer >= pages_per_block:
+                    self._roll_open_block()
+                    open_block = self._open
+                page_index = open_block.write_pointer
+                open_block.pages[page_index] = lpn
+                open_block.write_pointer = page_index + 1
+                open_block.valid += 1
+                mapping[lpn] = (open_block.index, page_index)
+                copied += 1
+            if copied:
+                self.gc_copies += copied
+                self.nand_pages_written += copied
 
     # -- host interface -----------------------------------------------------
 
@@ -153,6 +183,51 @@ class Ftl:
         self.host_pages_written += 1
         if len(self._free) <= self.spec.gc_low_water:
             self._collect()
+
+    def write_run(self, lpns: list[int]) -> None:
+        """Host write of a run of logical pages, in order.
+
+        State-identical to calling :meth:`write` per page — the
+        invalidate/program steps are inlined with the GC check kept at
+        every write, so garbage collection triggers at exactly the same
+        points and the mapping, counters and erase counts all land where
+        the per-page loop would put them.  Only the per-call attribute
+        and method dispatch is amortized (the batched destage-accounting
+        fast path).
+        """
+        spec = self.spec
+        gc_low_water = spec.gc_low_water
+        pages_per_block = spec.pages_per_block
+        mapping = self._mapping
+        mapping_pop = mapping.pop
+        blocks = self._blocks
+        free = self._free
+        collect = self._collect
+        programmed = 0
+        for lpn in lpns:
+            if lpn < 0:
+                raise ConfigError(f"invalid lpn {lpn}")
+            location = mapping_pop(lpn, None)
+            if location is not None:
+                stale = blocks[location[0]]
+                stale.pages[location[1]] = None
+                stale.valid -= 1
+            open_block = self._open
+            if open_block.write_pointer >= pages_per_block:
+                self._roll_open_block()
+                open_block = self._open
+            page_index = open_block.write_pointer
+            open_block.pages[page_index] = lpn
+            open_block.write_pointer = page_index + 1
+            open_block.valid += 1
+            mapping[lpn] = (open_block.index, page_index)
+            programmed += 1
+            if len(free) <= gc_low_water:
+                collect()
+        # GC survivor copies went through _program (counted there); the
+        # inlined host programs are settled here in one update each.
+        self.host_pages_written += programmed
+        self.nand_pages_written += programmed
 
     def trim(self, lpn: int) -> None:
         """Host discard of one logical page."""

@@ -24,13 +24,21 @@ from __future__ import annotations
 
 import hashlib
 import random
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.errors import WorkloadError
+import numpy as np
+
+from repro.chunkbatch import ChunkBatch
+from repro.errors import ConfigError, WorkloadError
 from repro.types import Chunk, DEFAULT_CHUNK_SIZE
 from repro.workload.datagen import BlockContentGenerator, \
     analytic_random_fraction
+
+#: Entry budget of the batched path's per-unique payload cache (at the
+#: 4 KiB default chunk size this is ~4 MB of regenerated blocks).
+PAYLOAD_CACHE_ENTRIES = 1024
 
 
 @dataclass
@@ -88,6 +96,13 @@ class VdbenchStream:
         self._offset = 0
         self._content = BlockContentGenerator(comp_ratio, seed=seed) \
             if payload else None
+        #: Batched-path caches: duplicates reuse the unique's fingerprint
+        #: (descriptor mode) or regenerated block (payload mode, bounded
+        #: LRU) instead of re-deriving it.  Pure memoization — both are
+        #: deterministic functions of the unique id — so the emitted
+        #: chunks are byte-equal to the per-chunk path's.
+        self._unique_fps: dict[int, bytes] = {}
+        self._payload_cache: OrderedDict[int, bytes] = OrderedDict()
         self.stats = StreamStats()
 
     # -- internals ---------------------------------------------------------
@@ -148,6 +163,128 @@ class VdbenchStream:
         """Emit ``n`` chunks."""
         for _ in range(n):
             yield self.next_chunk()
+
+    # -- batched emission (the array-native functional plane) ----------------
+
+    def _fingerprint_cached(self, unique_id: int) -> bytes:
+        fingerprint = self._unique_fps.get(unique_id)
+        if fingerprint is None:
+            fingerprint = self._fingerprint_for(unique_id)
+            self._unique_fps[unique_id] = fingerprint
+        return fingerprint
+
+    def _payload_cached(self, unique_id: int, ratio: float) -> bytes:
+        cache = self._payload_cache
+        payload = cache.get(unique_id)
+        if payload is not None:
+            cache.move_to_end(unique_id)
+            return payload
+        payload = self._payload_for(unique_id, ratio)
+        if len(cache) >= PAYLOAD_CACHE_ENTRIES:
+            cache.popitem(last=False)
+        cache[unique_id] = payload
+        return payload
+
+    def next_batch(self, n: int) -> ChunkBatch:
+        """Emit the next ``n`` chunks as one :class:`ChunkBatch`.
+
+        Consumes the stream RNG in exactly the per-chunk order (one
+        dup-coin draw per chunk once a unique exists, one ratio draw
+        per new unique, dup picks via the same locality walk), so
+        ``next_batch(n).materialize()`` equals ``[next_chunk() for _ in
+        range(n)]`` element-wise — the workload equivalence suite holds
+        both paths to that.
+        """
+        if n < 1:
+            raise WorkloadError(f"batch size must be >= 1, got {n}")
+        if self.chunk_size <= 0:
+            # Same error the per-chunk path's Chunk validation raises.
+            raise ConfigError(f"invalid chunk size {self.chunk_size}")
+        # The decision kernel below inlines _pick_duplicate_id and
+        # _draw_ratio: every RNG draw happens in the per-chunk order, so
+        # the stream stays bit-identical while the batch drops the
+        # per-chunk method-call overhead.
+        rng = self._rng
+        rng_random = rng.random
+        rng_randrange = rng.randrange
+        rng_gauss = rng.gauss
+        ratios = self._unique_ratios
+        append_ratio = ratios.append
+        dup_probability = self._dup_probability
+        locality = self.locality
+        working_set = self.working_set
+        mean_ratio = self.comp_ratio
+        sigma = mean_ratio * self.comp_spread
+        stats = self.stats
+        fps = None if self.payload else self._unique_fps
+        fp_prefix = f"vdbench:{self.seed}:"
+        sha1 = hashlib.sha1
+        unique_ids: list[int] = []
+        append_uid = unique_ids.append
+        duplicates = 0
+        for _ in range(n):
+            n_uniques = len(ratios)
+            if n_uniques and rng_random() < dup_probability:
+                if locality and rng_random() < locality:
+                    window = (working_set if working_set < n_uniques
+                              else n_uniques)
+                    unique_id = rng_randrange(n_uniques - window,
+                                              n_uniques)
+                else:
+                    unique_id = rng_randrange(n_uniques)
+                duplicates += 1
+                ratio = ratios[unique_id]
+            else:
+                unique_id = n_uniques
+                ratio = max(1.0, rng_gauss(mean_ratio, sigma))
+                append_ratio(ratio)
+                if fps is not None and unique_id not in fps:
+                    fps[unique_id] = sha1(
+                        (fp_prefix + str(unique_id)).encode()).digest()
+            append_uid(unique_id)
+            # Order-faithful float accumulation (matches next_chunk).
+            stats.ratio_sum += ratio
+
+        size = self.chunk_size
+        offsets = self._offset + size * np.arange(n, dtype=np.int64)
+        sizes = np.full(n, size, dtype=np.int64)
+        if self.payload:
+            payloads = [self._payload_cached(uid, ratios[uid])
+                        for uid in unique_ids]
+            fingerprints: list = [None] * n
+            comp_ratios: list = [None] * n
+        else:
+            payloads = [None] * n
+            # Creation-time fills above make this all dict hits; the
+            # cached fallback covers uniques minted by next_chunk before
+            # the stream switched to batched emission.
+            fps_get = fps.get
+            fp_fill = self._fingerprint_cached
+            fingerprints = [fps_get(uid) or fp_fill(uid)
+                            for uid in unique_ids]
+            comp_ratios = [ratios[uid] for uid in unique_ids]
+        self._offset += size * n
+        stats.chunks += n
+        stats.uniques += n - duplicates
+        stats.duplicates += duplicates
+        stats.bytes_emitted += size * n
+        # The emitting stream validated every column by construction.
+        return ChunkBatch(offsets, sizes, payloads, fingerprints,
+                          comp_ratios, validate=False)
+
+    def chunks_batched(self, n: int, window: int = 64) -> Iterator[Chunk]:
+        """Emit ``n`` chunks, materialized window-at-a-time.
+
+        The batched pipeline feeder's source: same chunks as
+        :meth:`chunks`, produced through :meth:`next_batch` windows.
+        """
+        if window < 1:
+            raise WorkloadError(f"window must be >= 1, got {window}")
+        remaining = n
+        while remaining > 0:
+            take = window if window < remaining else remaining
+            yield from self.next_batch(take).materialize()
+            remaining -= take
 
     def chunks_for_bytes(self, total_bytes: int) -> Iterator[Chunk]:
         """Emit chunks until ``total_bytes`` of stream have been produced."""

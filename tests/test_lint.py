@@ -46,6 +46,7 @@ EXPECTED = {
     "rep502_byte_loop.py": [("REP502", 7), ("REP502", 14)],
     "rep503_fp_decompose.py": [("REP503", 8), ("REP503", 9),
                                ("REP503", 13)],
+    "rep504_chunk_loop.py": [("REP504", 6), ("REP504", 11)],
     "rep601_now_arith.py": [("REP601", 6), ("REP601", 7)],
 }
 
@@ -98,7 +99,7 @@ class TestRepoTree:
         # The grandfathered findings must still be *detected* (and
         # matched), or the baseline is dead weight.
         assert {d.rule for d in report.baselined} == {
-            "REP103", "REP201", "REP203", "REP601"}
+            "REP103", "REP201", "REP203", "REP504", "REP601"}
 
     def test_cli_repo_run(self, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
