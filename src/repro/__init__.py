@@ -29,17 +29,38 @@ See DESIGN.md for the architecture and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from repro.core.calibration import calibrate_mode, run_mode
-from repro.core.config import PipelineConfig
-from repro.core.modes import IntegrationMode
-from repro.core.pipeline import ReductionPipeline
-from repro.core.stats import PipelineReport
-from repro.errors import ReproError
-from repro.storage.volume import ReducedVolume
-from repro.types import Chunk, DEFAULT_CHUNK_SIZE
-from repro.workload.vdbench import VdbenchStream
+# Re-exports are lazy (PEP 562): tooling entry points that never touch
+# the data plane (``repro lint``) must not pay the numpy/core import.
+_EXPORTS = {
+    "calibrate_mode": "repro.core.calibration",
+    "run_mode": "repro.core.calibration",
+    "PipelineConfig": "repro.core.config",
+    "IntegrationMode": "repro.core.modes",
+    "ReductionPipeline": "repro.core.pipeline",
+    "PipelineReport": "repro.core.stats",
+    "ReproError": "repro.errors",
+    "ReducedVolume": "repro.storage.volume",
+    "Chunk": "repro.types",
+    "DEFAULT_CHUNK_SIZE": "repro.types",
+    "VdbenchStream": "repro.workload.vdbench",
+}
 
 __version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+    value = getattr(importlib.import_module(module), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
 
 __all__ = [
     "calibrate_mode",

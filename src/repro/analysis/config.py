@@ -154,6 +154,76 @@ class LintConfig:
     #: containing "fingerprint" matches too).
     fingerprint_names: tuple[str, ...] = ("fp", "fps")
 
+    # -- effect inference (REP701/REP702/REP703/REP704) --------------------
+    #: Module-level caches whose mutation is *audited memoization*: the
+    #: effect engine classifies writes to them as benign, so functions
+    #: that only memoize through them still infer pure.  Each is a
+    #: bounded, content-keyed cache whose values are never handed out
+    #: for mutation (the REP702 side of the contract).
+    effect_benign_globals: tuple[str, ...] = (
+        "repro.compression.lz_common._KEY3_CACHE",
+        "repro.compression.quicklz._HASH_CACHE",
+        "repro.compression.lzss._OCC_CACHE",
+        "repro.dedup.index_base._CACHES",
+    )
+    #: Classes whose *self*-mutations are memo bookkeeping (hit/miss
+    #: counters, LRU reordering): methods of these classes stay pure
+    #: despite mutating their own instance.
+    effect_memo_classes: tuple[str, ...] = (
+        "repro.compression.memo.CodecMemo",
+        "repro.dedup.hashing.PayloadHashMemo",
+    )
+    #: Functions whose return value is a shared view or cached buffer:
+    #: callers receive a ``shared`` root, and any mutation through it
+    #: is REP702.
+    shared_view_providers: tuple[str, ...] = (
+        "repro.compression.lz_common.key3_array",
+        "repro.compression.lz_common.cached_key3_array",
+        "repro.compression.lzss.occurrence_index",
+    )
+    #: Functions whose return value is a *cache container* owned by an
+    #: audited benign global: installs into the returned dict are the
+    #: memoization itself, not a shared-view mutation.  Maps provider
+    #: function -> the benign global it exposes.
+    effect_cache_providers: dict[str, str] = field(
+        default_factory=lambda: {
+            "repro.dedup.index_base.decomposition_cache":
+                "repro.dedup.index_base._CACHES",
+        })
+    #: class -> attributes that expose shared numpy views (mutating an
+    #: element through them corrupts every aliasing consumer).
+    shared_view_attrs: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: {
+            "repro.chunkbatch.ChunkBatch": (
+                "offsets", "sizes", "payloads", "fingerprints",
+                "comp_ratios"),
+        })
+    #: Packages under the REP703 RNG-provenance contract (the same
+    #: determinism surface the seeded-RNG rules patrol).
+    rng_flow_scope: tuple[str, ...] = (
+        "repro.sim", "repro.core", "repro.dedup", "repro.compression",
+        "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
+    )
+    #: Parameter-name fragments that mark a *tracked* RNG hand-off;
+    #: passing an RNG across modules into any other parameter is an
+    #: untracked flow.
+    rng_param_names: tuple[str, ...] = ("rng", "random")
+    #: Packages whose module-level mutable bindings are REP704 hazards
+    #: (state a future multiprocessing executor would silently fork).
+    shared_state_scope: tuple[str, ...] = (
+        "repro.core", "repro.compression", "repro.dedup",
+        "repro.workload", "repro.sim", "repro.cpu", "repro.gpu",
+        "repro.storage", "repro.chunkbatch", "repro.types",
+    )
+    #: The audited module-level singletons (dotted names), each a
+    #: bounded content-keyed cache documented in DESIGN.md §13.
+    shared_state_audited: tuple[str, ...] = (
+        "repro.compression.lz_common._KEY3_CACHE",
+        "repro.compression.quicklz._HASH_CACHE",
+        "repro.compression.lzss._OCC_CACHE",
+        "repro.dedup.index_base._CACHES",
+    )
+
     def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:
         """True when ``module`` falls under one of the scope prefixes."""
         if module is None:

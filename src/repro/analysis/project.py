@@ -1,0 +1,38 @@
+"""Project-wide lint context: every file's AST, parsed exactly once.
+
+The runner builds one :class:`ProjectContext` per lint run and hands it
+to every checker through :meth:`Checker.bind_project`.  Per-file rules
+keep reading their single :class:`FileContext`; project-scoped rules
+(the REP7xx effect family) reach the shared context list and the
+lazily-built :class:`~repro.analysis.effects.EffectAnalysis` — which
+consumes the *same* parsed trees, preserving the one-parse-per-file
+property the single-parse test pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.config import LintConfig
+from repro.analysis.context import FileContext
+
+
+class ProjectContext:
+    """All file contexts of one lint run plus the lazy effect engine."""
+
+    def __init__(self, contexts: list[FileContext], config: LintConfig):
+        self.contexts = contexts
+        self.config = config
+        self._effects = None
+        self._by_path = {ctx.rel_path: ctx for ctx in contexts}
+
+    def context_for(self, rel_path: str) -> Optional[FileContext]:
+        return self._by_path.get(rel_path)
+
+    @property
+    def effects(self):
+        """The effect analysis, built on first use from the shared ASTs."""
+        if self._effects is None:
+            from repro.analysis.effects import EffectAnalysis
+            self._effects = EffectAnalysis(self.contexts, self.config)
+        return self._effects

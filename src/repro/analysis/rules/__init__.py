@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from repro.analysis.config import LintConfig
+from repro.analysis.rules.aliasing import SharedViewMutationChecker
 from repro.analysis.rules.batchplane import ChunkLoopChecker
+from repro.analysis.rules.effects_memo import MemoPurityChecker
 from repro.analysis.rules.dataplane import (
     ByteLoopMatchExtensionChecker,
     FingerprintDecomposeChecker,
@@ -17,6 +19,8 @@ from repro.analysis.rules.determinism import (
 from repro.analysis.rules.floattime import FloatTimeEqualityChecker
 from repro.analysis.rules.layering import LayeringChecker
 from repro.analysis.rules.obs import NowArithmeticChecker
+from repro.analysis.rules.rngflow import RngFlowChecker
+from repro.analysis.rules.sharedstate import ModuleStateChecker
 from repro.analysis.rules.simproto import (
     AcquirePairingChecker,
     PrivateEngineApiChecker,
@@ -42,6 +46,10 @@ CHECKERS: tuple[type[Checker], ...] = (
     FingerprintDecomposeChecker,   # REP503
     ChunkLoopChecker,          # REP504
     NowArithmeticChecker,      # REP601
+    MemoPurityChecker,         # REP701
+    SharedViewMutationChecker,  # REP702
+    RngFlowChecker,            # REP703
+    ModuleStateChecker,        # REP704
 )
 
 

@@ -1,0 +1,116 @@
+"""RNG provenance rule (REP703).
+
+Run-to-run identity — the property every pinned baseline and
+byte-identical report gate stands on — requires that all randomness is
+(a) constructed from explicit seed material and (b) consumed where it
+was constructed, or handed off *visibly*.  The coming per-shard
+multiprocessing executor raises the stakes: an RNG that silently
+crosses a module boundary today becomes an RNG forked into N workers
+tomorrow, with each worker re-drawing from an object whose state the
+parent no longer controls.
+
+Three findings, from the effect engine's RNG records:
+
+* **tainted seed** — a ``random.Random``/numpy generator constructed
+  from wall-clock, ambient-RNG, or entropy-source material (and
+  ``SystemRandom`` categorically); explicit constants and seed
+  parameters are fine, and *unseeded* construction stays REP102's.
+* **untracked cross-module flow** — an RNG value passed to another
+  module's function through a parameter whose name does not mark it as
+  an RNG hand-off (``rng_param_names``), or into a call the engine
+  cannot resolve.
+* **escaping storage** — an RNG stored into anything other than an
+  attribute of ``self`` (a module-level dict, another object), or
+  returned from a public function: ownership becomes untrackable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.visitors import Checker
+
+
+class RngFlowChecker(Checker):
+    """REP703: explicit seeds, visible RNG hand-offs, owned storage."""
+
+    rule = "REP703"
+    name = "rng-provenance"
+    description = ("RNG constructed from tainted seed material, or "
+                   "flowing across module boundaries untracked")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return self.config.in_scope(ctx.module,
+                                    self.config.rng_flow_scope)
+
+    def _analysis(self, ctx: FileContext):
+        if self.project is None:
+            from repro.analysis.project import ProjectContext
+            self.project = ProjectContext([ctx], self.config)
+        return self.project.effects
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        analysis = self._analysis(ctx)
+        tracked = tuple(f.lower() for f in self.config.rng_param_names)
+        for fn in analysis.functions.values():
+            if fn.rel_path != ctx.rel_path:
+                continue
+            for ctor in fn.rng_ctors:
+                if ctor.ctor == "random.SystemRandom":
+                    yield self.diag(
+                        ctx, ctor.node,
+                        f"`{fn.short()}` constructs SystemRandom: "
+                        "entropy-seeded, never reproducible",
+                        hint="use random.Random with an explicit seed",
+                        key=f"{fn.short()}:systemrandom")
+                elif ctor.taints:
+                    yield self.diag(
+                        ctx, ctor.node,
+                        f"`{fn.short()}` seeds {ctor.ctor} from "
+                        f"nondeterministic material "
+                        f"({', '.join(sorted(set(ctor.taints)))})",
+                        hint="derive the seed from an explicit seed "
+                             "parameter or constant",
+                        key=f"{fn.short()}:tainted-seed")
+            for flow in fn.rng_flows:
+                if flow.callee is None:
+                    yield self.diag(
+                        ctx, flow.node,
+                        f"`{fn.short()}` passes an RNG into "
+                        f"unresolvable call `{flow.target_desc}`",
+                        hint="call the consumer directly so the flow "
+                             "is trackable, or audit in the baseline",
+                        key=f"{fn.short()}:rng-escape:"
+                            f"{flow.target_desc}")
+                elif not flow.same_module:
+                    pname = (flow.param_name or "").lower()
+                    if not any(frag in pname for frag in tracked):
+                        yield self.diag(
+                            ctx, flow.node,
+                            f"`{fn.short()}` passes an RNG across a "
+                            f"module boundary into "
+                            f"`{flow.callee.short()}` parameter "
+                            f"{flow.param_name!r}",
+                            hint="name the parameter *rng* (or pass "
+                                 "seed material instead) so the "
+                                 "hand-off is tracked",
+                            key=f"{fn.short()}:rng-flow:"
+                                f"{flow.callee.short()}")
+            for node, desc in fn.rng_stores:
+                yield self.diag(
+                    ctx, node,
+                    f"`{fn.short()}` stores an RNG into `{desc}`: "
+                    "ownership leaves the constructing object",
+                    hint="keep RNGs on self, or store seed material",
+                    key=f"{fn.short()}:rng-store:{desc}")
+            if not fn.name.startswith("_"):
+                for node in fn.rng_returns:
+                    yield self.diag(
+                        ctx, node,
+                        f"public `{fn.short()}` returns an RNG: "
+                        "downstream draws become untrackable",
+                        hint="return drawn values or seed material, "
+                             "or make the factory private",
+                        key=f"{fn.short()}:rng-return")

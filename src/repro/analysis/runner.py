@@ -18,6 +18,7 @@ from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.config import LintConfig
 from repro.analysis.context import FileContext
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import ProjectContext
 from repro.analysis.rules import all_checkers
 from repro.analysis.visitors import Checker
 from repro.errors import LintError
@@ -41,6 +42,10 @@ class LintReport:
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: list[str] = field(default_factory=list)
+    #: True when the run was restricted to a changed-file subset;
+    #: stale-baseline detection is skipped (the run cannot see every
+    #: finding, so absence proves nothing).
+    restricted: bool = False
 
     @property
     def ok(self) -> bool:
@@ -62,6 +67,29 @@ class LintReport:
             lines.append(f"stale baseline entry: {entry.rule} "
                          f"{entry.path} [{entry.key}] — no longer "
                          f"occurs, remove it")
+        lines.append(
+            f"{len(self.new)} problem(s) in {self.files_scanned} "
+            f"file(s) ({len(self.baselined)} baselined, "
+            f"{self.suppressed} inline-suppressed)")
+        return "\n".join(lines)
+
+    def format_github(self) -> str:
+        """GitHub workflow-command annotations (inline PR diagnostics)."""
+        lines = []
+        for diag in sorted(self.new, key=Diagnostic.sort_key):
+            message = diag.message
+            if diag.hint:
+                message += f" — {diag.hint}"
+            # Workflow commands terminate at a newline; %0A escapes.
+            message = message.replace("%", "%25").replace("\n", "%0A")
+            lines.append(
+                f"::error file={diag.path},line={diag.line},"
+                f"col={diag.col + 1},title={diag.rule}::{message}")
+        for entry in self.stale_baseline:
+            lines.append(
+                f"::warning file={entry.path},title=stale-baseline::"
+                f"baseline entry {entry.rule} [{entry.key}] no longer "
+                f"occurs, remove it")
         lines.append(
             f"{len(self.new)} problem(s) in {self.files_scanned} "
             f"file(s) ({len(self.baselined)} baselined, "
@@ -114,16 +142,40 @@ def lint_file(ctx: FileContext, checkers: Sequence[Checker]
     return findings, suppressed
 
 
+def build_project(paths: Sequence[Path],
+                  config: LintConfig) -> ProjectContext:
+    """Parse every source file under ``paths`` exactly once."""
+    contexts = [FileContext.from_path(path, config.root)
+                for path in iter_source_files(paths)]
+    return ProjectContext(contexts, config)
+
+
 def run_lint(paths: Sequence[Path], config: Optional[LintConfig] = None,
-             baseline: Optional[Baseline] = None) -> LintReport:
-    """Lint ``paths`` and return a :class:`LintReport`."""
+             baseline: Optional[Baseline] = None,
+             restrict: Optional[set[str]] = None,
+             check_stale: bool = True) -> LintReport:
+    """Lint ``paths`` and return a :class:`LintReport`.
+
+    ``restrict`` limits *checking and reporting* to the given
+    ``rel_path`` set (the ``--changed`` workflow) while the whole tree
+    is still parsed — project-scoped rules need the full call graph
+    either way.  A restricted run skips stale-baseline detection: it
+    cannot see every finding, so an unmatched entry proves nothing.
+    ``check_stale=False`` skips it for the same reason on runs whose
+    *paths* cover less than the full tree (explicit file arguments).
+    """
     config = config if config is not None else LintConfig()
     checkers = all_checkers(config)
     baseline = baseline if baseline is not None else Baseline()
-    report = LintReport(rules_run=[c.rule for c in checkers])
+    report = LintReport(rules_run=[c.rule for c in checkers],
+                        restricted=restrict is not None)
+    project = build_project(paths, config)
+    for checker in checkers:
+        checker.bind_project(project)
     all_diags: list[Diagnostic] = []
-    for path in iter_source_files(paths):
-        ctx = FileContext.from_path(path, config.root)
+    for ctx in project.contexts:
+        if restrict is not None and ctx.rel_path not in restrict:
+            continue
         report.files_scanned += 1
         findings, suppressed = lint_file(ctx, checkers)
         report.suppressed += suppressed
@@ -133,5 +185,6 @@ def run_lint(paths: Sequence[Path], config: Optional[LintConfig] = None,
             report.baselined.append(diag)
         else:
             report.new.append(diag)
-    report.stale_baseline = baseline.stale_entries(all_diags)
+    if restrict is None and check_stale:
+        report.stale_baseline = baseline.stale_entries(all_diags)
     return report

@@ -86,10 +86,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.obs import SimTracer
         tracer = SimTracer()
+    base_config = None
+    if args.verify_memos:
+        from repro import PipelineConfig
+        base_config = PipelineConfig(verify_memos=True)
     started = time.time()
     report = run_mode(mode, args.chunks, dedup_ratio=args.dedup_ratio,
                       comp_ratio=args.comp_ratio, seed=args.seed,
-                      tracer=tracer, **platform)
+                      tracer=tracer, payload=args.payload,
+                      base_config=base_config, **platform)
     table = Table(f"pipeline run: {mode.value}, {args.chunks} chunks "
                   f"(dedup {args.dedup_ratio} x comp {args.comp_ratio})",
                   ["metric", "value"])
@@ -373,8 +378,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{checker.rule}  {checker.name:<32} "
                   f"{checker.description}")
         return 0
+    if args.explain:
+        return _explain_rule(args.explain)
 
     paths = [Path(p) for p in (args.paths or ["src/repro"])]
+
+    if args.effects:
+        from repro.analysis.runner import build_project
+        try:
+            project = build_project(paths, config)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(project.effects.describe(args.effects))
+        return 0 if project.effects.lookup_function(args.effects) \
+            else 2
+
+    restrict = None
+    if args.changed is not False:
+        ref = args.changed if isinstance(args.changed, str) \
+            else "origin/main"
+        restrict = _changed_files(ref)
+        if restrict is None:
+            print(f"error: could not diff against {ref!r}",
+                  file=sys.stderr)
+            return 2
+        if not restrict:
+            print(f"no changed python files vs {ref}")
+            return 0
     baseline = None
     baseline_path = Path(args.baseline)
     if not args.no_baseline and not args.write_baseline \
@@ -385,7 +416,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     try:
-        report = run_lint(paths, config, baseline=baseline)
+        # Explicit path arguments scan less than the full tree, so an
+        # unmatched baseline entry there proves nothing — only default
+        # (full-tree) runs may call entries stale.
+        report = run_lint(paths, config, baseline=baseline,
+                          restrict=restrict,
+                          check_stale=not args.paths)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -396,11 +432,59 @@ def cmd_lint(args: argparse.Namespace) -> int:
         return 0
     if args.format == "json":
         print(report.format_json())
+    elif args.format == "github":
+        print(report.format_github())
     else:
         print(report.format_text())
     # Stale baseline entries fail the run too: a grandfathered finding
     # that no longer occurs must be removed, or the baseline rots.
     return 0 if report.ok and not report.stale_baseline else 1
+
+
+def _changed_files(ref: str) -> "set[str] | None":
+    """Repo-relative ``.py`` paths changed vs ``ref`` (plus untracked)."""
+    import subprocess
+
+    def _git(*argv: str) -> "list[str] | None":
+        try:
+            out = subprocess.run(
+                ["git", *argv], capture_output=True, text=True,
+                check=True)
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        return [line for line in out.stdout.splitlines() if line]
+
+    diffed = _git("diff", "--name-only", ref, "--", "*.py")
+    if diffed is None:
+        return None
+    untracked = _git("ls-files", "--others", "--exclude-standard",
+                     "--", "*.py") or []
+    return set(diffed) | set(untracked)
+
+
+def _explain_rule(rule: str) -> int:
+    """Print one rule's contract: registry line plus its module doc."""
+    import inspect
+
+    from repro.analysis import LintConfig, checker_by_rule
+    from repro.errors import LintError
+
+    try:
+        checker = checker_by_rule(rule, LintConfig())
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{checker.rule}  {checker.name}")
+    print(f"  {checker.description}")
+    doc = inspect.getdoc(type(checker)) or ""
+    module_doc = inspect.getdoc(
+        inspect.getmodule(type(checker))) or ""
+    for block in (doc, module_doc):
+        if block:
+            print()
+            for line in block.splitlines():
+                print(f"  {line}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -418,6 +502,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", metavar="PATH", default=None,
                      help="also write a Chrome trace_event JSON of "
                           "the run")
+    run.add_argument("--payload", action="store_true",
+                     help="run the workload with real payload bytes "
+                          "(functional data plane) instead of "
+                          "descriptors")
+    run.add_argument("--verify-memos", action="store_true",
+                     dest="verify_memos",
+                     help="runtime twin of the REP701/REP702 lint "
+                          "contract: replay sampled memo hits against "
+                          "fresh computation (implies extra compute; "
+                          "combine with --payload)")
     run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(
@@ -482,7 +576,17 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--rule", action="append", dest="rules",
                       metavar="RULE",
                       help="run only this rule id/name (repeatable)")
-    lint.add_argument("--format", choices=("text", "json"),
+    lint.add_argument("--changed", nargs="?", const="origin/main",
+                      default=False, metavar="REF",
+                      help="only report findings in files changed vs "
+                           "REF (default origin/main); the whole tree "
+                           "is still parsed for the call graph")
+    lint.add_argument("--effects", metavar="QUALNAME",
+                      help="print the inferred effect summary for one "
+                           "function (e.g. module.Class.method) and exit")
+    lint.add_argument("--explain", metavar="RULE",
+                      help="print one rule's contract and exit")
+    lint.add_argument("--format", choices=("text", "json", "github"),
                       default="text")
     lint.add_argument("--baseline", default=DEFAULT_BASELINE,
                       help="baseline file of grandfathered findings")

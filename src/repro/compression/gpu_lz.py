@@ -128,6 +128,13 @@ class GpuCompressor:
                                        params=self.params,
                                        stats=self.seam_stats)
             self.memo.put(self._memo_tag, fingerprint, blob)
+        elif self.memo.verifier is not None:
+            # Verification replay passes no stats dict: seam counters
+            # track *computed* refinements only (see the REP701 audit).
+            self.memo.verifier.on_hit(
+                "codec:" + self._memo_tag, blob,
+                lambda: refine_to_container(chunk.payload, raw,
+                                            params=self.params))
         return blob
 
     def achieved_ratio(self) -> float:

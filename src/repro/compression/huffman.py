@@ -124,6 +124,10 @@ class HuffmanCodec:
                 fingerprint = payload_fingerprint(data)
             cached = self.memo.get(self._MEMO_TAG, fingerprint)
             if cached is not None:
+                if self.memo.verifier is not None:
+                    self.memo.verifier.on_hit(
+                        "codec:" + self._MEMO_TAG, cached,
+                        lambda: self._encode(data))
                 return cached
         blob = self._encode(data)
         if self.memo is not None:
@@ -218,6 +222,11 @@ class LzssHuffmanCodec:
                 fingerprint = payload_fingerprint(data)
             cached = self.memo.get(self._memo_tag, fingerprint)
             if cached is not None:
+                if self.memo.verifier is not None:
+                    self.memo.verifier.on_hit(
+                        "codec:" + self._memo_tag, cached,
+                        lambda: self._entropy.encode(
+                            self._lz.encode(data)))
                 return cached
         blob = self._entropy.encode(self._lz.encode(data))
         if self.memo is not None:

@@ -311,15 +311,22 @@ class LzssCodec:
                 fingerprint = payload_fingerprint(data)
             cached = self.memo.get(self._memo_tag, fingerprint)
             if cached is not None:
+                if self.memo.verifier is not None:
+                    self.memo.verifier.on_hit(
+                        "codec:" + self._memo_tag, cached,
+                        lambda: self._encode_fresh(data))
                 return cached
-        if self.lazy:
-            tokens = self.encode_to_tokens(data)
-            blob = tokens_to_bytes(tokens, len(data), self.params)
-        else:
-            blob = self._encode_greedy(data)
+        blob = self._encode_fresh(data)
         if self.memo is not None:
             self.memo.put(self._memo_tag, fingerprint, blob)
         return blob
+
+    def _encode_fresh(self, data: bytes) -> bytes:
+        """One full encode, bypassing the memo (miss path + verifier)."""
+        if self.lazy:
+            tokens = self.encode_to_tokens(data)
+            return tokens_to_bytes(tokens, len(data), self.params)
+        return self._encode_greedy(data)
 
     def _encode_greedy(self, data: bytes) -> bytes:
         """Greedy parse fused with container packing.

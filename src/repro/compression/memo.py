@@ -44,7 +44,8 @@ def payload_fingerprint(data: bytes) -> bytes:
 class CodecMemo:
     """Bounded LRU of encoded containers keyed by content fingerprint."""
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries",
+                 "verifier")
 
     def __init__(self, capacity: int = DEFAULT_MEMO_ENTRIES):
         if capacity < 1:
@@ -55,6 +56,10 @@ class CodecMemo:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[tuple[str, bytes], bytes] = OrderedDict()
+        #: Optional :class:`repro.verify.MemoVerifier`; codec call
+        #: sites replay sampled hits through it (they know the
+        #: producer, the memo does not).
+        self.verifier = None
 
     def __len__(self) -> int:
         return len(self._entries)

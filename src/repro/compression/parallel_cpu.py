@@ -59,6 +59,9 @@ class CpuCompressor:
         #: Cross-window result memo for :meth:`compress_window` (LRU).
         self._result_memo: OrderedDict[Any, CompressionResult] = \
             OrderedDict()
+        #: Optional :class:`repro.verify.MemoVerifier` replaying
+        #: sampled result-memo hits against a fresh :meth:`compress`.
+        self.verifier = None
 
     def compress(self, chunk: Chunk) -> CompressionResult:
         """Compress one chunk (functionally in payload mode).
@@ -132,12 +135,34 @@ class CpuCompressor:
                 replays += 1
                 size_sum += chunk.size
                 out_sum += result.compressed_size
+                if self.verifier is not None:
+                    self.verifier.on_hit(
+                        "result-memo", result,
+                        lambda c=chunk: self._fresh_result(c))
             append(result)
         if replays:
             self.chunks_compressed += replays
             self.bytes_in += size_sum
             self.bytes_out += out_sum
         return results
+
+    def _fresh_result(self, chunk: Chunk) -> CompressionResult:
+        """What :meth:`compress` would produce, without its effects.
+
+        Verification-only: runs the real compress on a shadow copy of
+        the chunk, then rolls the compressor counters back, so the
+        replayed mutations being checked are not themselves double
+        counted.
+        """
+        import copy
+
+        shadow = copy.copy(chunk)
+        saved = (self.chunks_compressed, self.bytes_in, self.bytes_out)
+        try:
+            return self.compress(shadow)
+        finally:
+            (self.chunks_compressed, self.bytes_in,
+             self.bytes_out) = saved
 
     def decompress(self, blob: bytes) -> bytes:
         """Round-trip helper for volume reads."""

@@ -104,6 +104,10 @@ class QuickLzCodec:
                 fingerprint = payload_fingerprint(data)
             cached = self.memo.get(self._MEMO_TAG, fingerprint)
             if cached is not None:
+                if self.memo.verifier is not None:
+                    self.memo.verifier.on_hit(
+                        "codec:" + self._MEMO_TAG, cached,
+                        lambda: self._encode(data))
                 return cached
         blob = self._encode(data)
         if self.memo is not None:

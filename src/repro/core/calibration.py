@@ -64,12 +64,18 @@ def run_mode(mode: IntegrationMode, n_chunks: int,
              cpu_costs: CpuCosts = DEFAULT_COSTS,
              gpu_costs: GpuKernelCosts = DEFAULT_GPU_COSTS,
              dedup_ratio: float = 2.0, comp_ratio: float = 2.0,
-             seed: int = 1234, tracer: Optional[Tracer] = None):
+             seed: int = 1234, tracer: Optional[Tracer] = None,
+             payload: bool = False):
     """Run one integration mode on a fresh simulated platform.
 
     ``tracer`` (a :class:`~repro.obs.SimTracer`) is bound to the run's
     environment and threaded through every timed subsystem; the default
     is the zero-cost null tracer.
+
+    ``payload`` switches the workload to real bytes (the functional
+    data plane: hashing, codecs, memos) instead of descriptors; it is
+    required for ``PipelineConfig.verify_memos`` to have anything to
+    verify.
 
     Returns the :class:`~repro.core.stats.PipelineReport`.
     """
@@ -89,7 +95,10 @@ def run_mode(mode: IntegrationMode, n_chunks: int,
                                  cpu_costs=cpu_costs, gpu_costs=gpu_costs,
                                  tracer=tracer)
     stream = VdbenchStream(dedup_ratio=dedup_ratio, comp_ratio=comp_ratio,
-                           chunk_size=config.chunk_size, seed=seed)
+                           chunk_size=config.chunk_size, seed=seed,
+                           payload=payload)
+    if pipeline.verifier is not None:
+        stream.verifier = pipeline.verifier
     source = (stream.chunks_batched(n_chunks, config.functional_batch)
               if config.batched_functional else stream.chunks(n_chunks))
     return pipeline.run(source, total=n_chunks)

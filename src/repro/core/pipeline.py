@@ -72,6 +72,7 @@ from repro.obs.stages import (
     TRACK_WINDOW,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.verify import MemoVerifier
 from repro.sim import Environment, Resource
 from repro.sim.histogram import LatencyHistogram
 from repro.storage.block import BlockRequest, RequestKind
@@ -125,6 +126,16 @@ class ReductionPipeline:
         self.gpu_comp = GpuCompressor(
             segments_per_chunk=config.gpu_segments_per_chunk,
             cpu_costs=cpu_costs, gpu_costs=gpu_costs, memo=memo)
+
+        #: Runtime twin of the REP701/REP702 static contract: replays
+        #: sampled memo hits, reports divergence via finish_check.
+        self.verifier: Optional[MemoVerifier] = None
+        if config.verify_memos:
+            self.verifier = MemoVerifier()
+            env.register_finishable(self.verifier)
+            if memo is not None:
+                memo.verifier = self.verifier
+            self.cpu_comp.verifier = self.verifier
 
         self.scheduler = OffloadScheduler(
             self.cpu, policy=config.gpu_index_policy,
@@ -486,6 +497,8 @@ class ReductionPipeline:
         next_admission = 0.0
         trace = self.tracer if self.tracer.enabled else None
         hash_memo = PayloadHashMemo() if cfg.enable_dedup else None
+        if hash_memo is not None and self.verifier is not None:
+            hash_memo.verifier = self.verifier
         precompress = (cfg.enable_compression and not cfg.enable_dedup
                        and self._comp_batcher is None)
         precomp = self._precomp
@@ -552,7 +565,7 @@ class ReductionPipeline:
         # Let stragglers (destage writes, batcher shutdown) settle for
         # reporting, without extending the measured duration.
         self.env.run()
-        if self.config.finish_check:
+        if self.config.finish_check or self.config.verify_memos:
             self.env.finish_check()
         return self._report(duration, counters)
 

@@ -40,7 +40,8 @@ class PayloadHashMemo:
     outcomes are unchanged.
     """
 
-    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries",
+                 "verifier")
 
     def __init__(self, capacity: int = DEFAULT_HASH_MEMO_ENTRIES):
         if capacity < 1:
@@ -51,6 +52,9 @@ class PayloadHashMemo:
         self.misses = 0
         self.evictions = 0
         self._entries: OrderedDict[bytes, bytes] = OrderedDict()
+        #: Optional :class:`repro.verify.MemoVerifier` replaying
+        #: sampled digest hits against a fresh SHA-1.
+        self.verifier = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,6 +66,10 @@ class PayloadHashMemo:
         if cached is not None:
             entries.move_to_end(payload)
             self.hits += 1
+            if self.verifier is not None:
+                self.verifier.on_hit(
+                    "payload-hash", cached,
+                    lambda: payload_fingerprint(payload))
             return cached
         self.misses += 1
         fingerprint = payload_fingerprint(payload)

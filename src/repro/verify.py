@@ -1,0 +1,135 @@
+"""Runtime twin of the static memo-purity contract (REP701/REP702).
+
+``repro lint`` proves *statically* that every memoized producer infers
+pure and that cached values are never mutated through shared views.
+Static inference has blind spots by construction — dynamic dispatch,
+``getattr``, code the call-graph builder cannot resolve — so this
+module re-checks the same two invariants at runtime, on a live
+pipeline:
+
+* **Replay equivalence** (the REP701 twin): a deterministic sample of
+  memo *hits* is replayed against fresh computation; any divergence
+  between the cached value and the recomputed one means an impure (or
+  input-sensitive) producer slipped past inference.
+
+* **Buffer freezing** (the REP702 twin): numpy columns handed out as
+  shared views are marked read-only, so an in-place write through an
+  escaped view raises ``ValueError`` at the write site instead of
+  corrupting every aliasing consumer.
+
+One :class:`MemoVerifier` is shared by every instrumented memo — the
+codec memo, the payload-hash memo, ``compress_window``'s result memo,
+vdbench's payload cache.  It registers with the simulation's
+end-of-run sanitizer (``Environment.register_finishable``), so
+accumulated divergences fail ``finish_check`` with a description of
+the first few offending sites.
+
+Cost: one attribute test per memo hit when attached, plus one fresh
+recomputation per ``sample_every`` hits per site.  Detached (the
+default), the hooks are a single ``is not None`` test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+#: Replay one hit in this many, per site (the first hit always replays,
+#: so a poisoned entry is caught on its first reuse).
+DEFAULT_SAMPLE_EVERY = 16
+
+#: Cap on recorded divergences: one is fatal already, and an unbounded
+#: list would balloon on a systematically corrupted memo.
+_MAX_VIOLATIONS = 32
+
+
+def _describe(value: Any) -> str:
+    """Short, stable description of a cached/fresh value for messages."""
+    if isinstance(value, (bytes, bytearray)):
+        head = bytes(value[:8]).hex()
+        return f"{type(value).__name__}[{len(value)}] {head}…"
+    text = repr(value)
+    return text if len(text) <= 64 else text[:61] + "…"
+
+
+class MemoVerifier:
+    """Replays sampled memo hits against fresh computation.
+
+    The verifier is deliberately engine-agnostic: it never imports the
+    memos it checks.  Instrumented code calls :meth:`on_hit` with the
+    cached value and a zero-argument recompute closure; the verifier
+    decides (deterministically) whether this hit is in the sample, runs
+    the closure, and records any divergence.
+    """
+
+    __slots__ = ("sample_every", "hits_seen", "hits_replayed",
+                 "arrays_frozen", "violations", "_counters")
+
+    def __init__(self, sample_every: int = DEFAULT_SAMPLE_EVERY):
+        if sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {sample_every}")
+        self.sample_every = sample_every
+        self.hits_seen = 0
+        self.hits_replayed = 0
+        self.arrays_frozen = 0
+        self.violations: list[str] = []
+        #: site -> hits observed (drives the deterministic sample).
+        self._counters: dict[str, int] = {}
+
+    # -- replay equivalence (REP701 twin) ----------------------------------
+
+    def on_hit(self, site: str, cached: Any,
+               recompute: Callable[[], Any]) -> None:
+        """Record one memo hit; replay it when the sample says so."""
+        seen = self._counters.get(site, 0)
+        self._counters[site] = seen + 1
+        self.hits_seen += 1
+        if seen % self.sample_every:
+            return
+        self.hits_replayed += 1
+        fresh = recompute()
+        if not self._equal(cached, fresh):
+            if len(self.violations) < _MAX_VIOLATIONS:
+                self.violations.append(
+                    f"memo divergence at {site} (hit #{seen + 1}): "
+                    f"cached {_describe(cached)} != fresh "
+                    f"{_describe(fresh)} — the memoized producer is "
+                    f"not a pure function of the memo key")
+
+    @staticmethod
+    def _equal(cached: Any, fresh: Any) -> bool:
+        if cached is fresh:
+            return True
+        if hasattr(cached, "shape") or hasattr(fresh, "shape"):
+            import numpy
+            return bool(numpy.array_equal(cached, fresh))
+        return bool(cached == fresh)
+
+    # -- buffer freezing (REP702 twin) -------------------------------------
+
+    def freeze_array(self, array: Any) -> Any:
+        """Mark a shared numpy view read-only (idempotent, in place).
+
+        Returns the same array: cached columns must stay the *identical
+        object* so report byte-identity is untouched; only the
+        writeable flag changes, turning an aliasing write into an
+        immediate ``ValueError`` at the offending site.
+        """
+        flags = getattr(array, "flags", None)
+        if flags is not None and flags.writeable:
+            array.flags.writeable = False
+            self.arrays_frozen += 1
+        return array
+
+    # -- end-of-run sanitizer protocol --------------------------------------
+
+    def finish_violations(self) -> list[str]:
+        """Divergences for ``Environment.finish_check`` (empty = clean)."""
+        return list(self.violations)
+
+    def stats(self) -> dict[str, int]:
+        """Counters snapshot for tests and diagnostics."""
+        return {"hits_seen": self.hits_seen,
+                "hits_replayed": self.hits_replayed,
+                "arrays_frozen": self.arrays_frozen,
+                "violations": len(self.violations)}

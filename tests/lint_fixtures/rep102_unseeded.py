@@ -1,4 +1,4 @@
-# repro-lint: module=repro.core.fakerng
+# repro-lint: module=repro.obs.fakerng
 """Fixture: REP102 — ambient/unseeded randomness."""
 
 import random

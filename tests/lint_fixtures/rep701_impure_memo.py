@@ -1,0 +1,34 @@
+# repro-lint: module=repro.bench.fakememo
+"""Fixture: REP701 — memoized producers must infer pure."""
+
+AUDIT_LOG = []
+
+
+def impure_producer(data: bytes) -> bytes:
+    AUDIT_LOG.append(len(data))
+    return data[:8]
+
+
+def pure_producer(data: bytes) -> bytes:
+    return data[:8]
+
+
+class Memo:
+    def __init__(self):
+        self._entries = {}
+
+    def lookup_bad(self, key, data):
+        cached = self._entries.get(key)
+        if cached is not None:
+            return cached
+        value = impure_producer(data)
+        self._entries[key] = value  # expect REP701 on this line (25)
+        return value
+
+    def lookup_ok(self, key, data):
+        cached = self._entries.get(key)
+        if cached is not None:
+            return cached
+        value = pure_producer(data)
+        self._entries[key] = value
+        return value

@@ -1,0 +1,34 @@
+# repro-lint: module=repro.compression.lz_common
+"""Fixture: REP702 — no mutation through shared cache views.
+
+Claiming the ``lz_common`` module name makes the local ``key3_array``
+resolve as the configured shared-view provider, so its return value
+carries a ``shared`` root exactly like the real cached key array.
+"""
+
+
+def key3_array(data):
+    return bytearray(data)
+
+
+def _zero_first(buf):
+    buf[0] = 0
+
+
+def corrupt_direct(data):
+    view = key3_array(data)
+    view[0] = 0  # expect REP702 on this line (20)
+    return view
+
+
+def corrupt_via_callee(data):
+    view = key3_array(data)
+    _zero_first(view)  # expect REP702 on this line (26): lifted write
+    return view
+
+
+def copy_is_fine(data):
+    view = key3_array(data)
+    fresh = bytearray(view)
+    fresh[0] = 0
+    return fresh

@@ -1,0 +1,40 @@
+# repro-lint: module=repro.workload.fakerng
+"""Fixture: REP703 — RNG provenance and visible hand-offs."""
+
+import os
+import random
+
+
+def system_rng() -> float:
+    gen = random.SystemRandom()  # expect REP703 on this line (9)
+    return gen.uniform(0.0, 1.0)
+
+
+def tainted_seed() -> float:
+    rng = random.Random(os.urandom(8))  # expect REP703 on this line (14)
+    return rng.random()
+
+
+def leak_into(consumer) -> None:
+    rng = random.Random(7)
+    consumer(rng)  # expect REP703 on this line (20): untracked flow
+
+
+def stash(table: dict, seed: int) -> None:
+    table["rng"] = random.Random(seed)  # expect REP703 (24): escape
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)  # expect REP703 (28): public return
+
+
+def _private_factory(seed: int) -> random.Random:
+    return random.Random(seed)  # private factory: fine
+
+
+def _draw(rng: random.Random) -> float:
+    return rng.random()
+
+
+def tracked_is_fine(seed: int) -> float:
+    return _draw(random.Random(seed))  # same-module hand-off: fine

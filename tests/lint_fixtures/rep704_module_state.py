@@ -1,0 +1,14 @@
+# repro-lint: module=repro.dedup.index_base
+"""Fixture: REP704 — module-level mutable state must be audited.
+
+Claiming the ``index_base`` module name lets ``_CACHES`` exercise the
+audited-singleton exemption (``shared_state_audited``).
+"""
+
+from collections import OrderedDict
+
+TABLE = {}  # expect REP704 on this line (9)
+RECENT = OrderedDict()  # expect REP704 on this line (10)
+_CACHES = {}  # audited singleton: no finding
+LIMITS = (4, 8)  # immutable: no finding
+__all__ = ["TABLE", "LIMITS"]  # dunder: no finding

@@ -48,6 +48,12 @@ EXPECTED = {
                                ("REP503", 13)],
     "rep504_chunk_loop.py": [("REP504", 6), ("REP504", 11)],
     "rep601_now_arith.py": [("REP601", 6), ("REP601", 7)],
+    "rep701_impure_memo.py": [("REP701", 25)],
+    "rep702_shared_mutation.py": [("REP702", 20), ("REP702", 26)],
+    "rep703_rng_flow.py": [("REP703", 9), ("REP703", 14),
+                           ("REP703", 20), ("REP703", 24),
+                           ("REP703", 28)],
+    "rep704_module_state.py": [("REP704", 10), ("REP704", 11)],
 }
 
 
@@ -99,7 +105,8 @@ class TestRepoTree:
         # The grandfathered findings must still be *detected* (and
         # matched), or the baseline is dead weight.
         assert {d.rule for d in report.baselined} == {
-            "REP103", "REP201", "REP203", "REP504", "REP601"}
+            "REP103", "REP201", "REP203", "REP504", "REP601",
+            "REP701"}
 
     def test_cli_repo_run(self, monkeypatch):
         monkeypatch.chdir(REPO_ROOT)
@@ -142,6 +149,17 @@ class TestBaseline:
         assert report.ok
         assert len(report.stale_baseline) == 1
 
+    def test_partial_run_skips_stale_detection(self):
+        # A run over less than the full tree cannot prove any entry
+        # stale — the CLI passes check_stale=False for explicit path
+        # arguments, same as --changed does via restrict.
+        baseline = Baseline.load(BASELINE)
+        report = run_lint([FIXTURES / "clean.py"],
+                          LintConfig(root=REPO_ROOT),
+                          baseline=baseline, check_stale=False)
+        assert report.ok
+        assert not report.stale_baseline
+
     def test_matching_is_line_insensitive(self):
         # Baseline keys use (rule, path, key): a finding that moves to
         # another line stays matched.
@@ -158,13 +176,28 @@ class TestBaseline:
         with pytest.raises(LintError, match="version"):
             Baseline.load(path)
 
-    def test_stale_entry_fails_cli(self, tmp_path):
+    def test_stale_entry_fails_cli(self, tmp_path, monkeypatch):
+        # Stale detection only runs on default (full-tree) invocations;
+        # build a one-file tree so the default paths cover everything.
+        tree = tmp_path / "src" / "repro"
+        tree.mkdir(parents=True)
+        (tree / "clean.py").write_text((FIXTURES / "clean.py").read_text())
+        path = tmp_path / "baseline.json"
+        Baseline(entries=[BaselineEntry(
+            rule="REP101", path="tests/lint_fixtures/clean.py",
+            key="gone:time.time", reason="rotted")]).save(path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--baseline", str(path)]) == 1
+
+    def test_explicit_path_skips_stale_cli(self, tmp_path):
+        # The same rotten entry is *not* called stale when the run is
+        # narrowed to explicit paths — it cannot see every finding.
         path = tmp_path / "baseline.json"
         Baseline(entries=[BaselineEntry(
             rule="REP101", path="tests/lint_fixtures/clean.py",
             key="gone:time.time", reason="rotted")]).save(path)
         assert main(["lint", "--baseline", str(path),
-                     str(FIXTURES / "clean.py")]) == 1
+                     str(FIXTURES / "clean.py")]) == 0
 
     def test_cli_write_then_pass(self, tmp_path):
         path = tmp_path / "baseline.json"
