@@ -35,7 +35,7 @@ class LintConfig:
     determinism_scope: tuple[str, ...] = (
         "repro.sim", "repro.core", "repro.dedup", "repro.compression",
         "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
-        "repro.obs",
+        "repro.obs", "repro.cluster",
     )
     #: Modules whose iteration order decides *dispatch* order.  Here even
     #: dict-view iteration is flagged, because feeding a view into a
@@ -116,7 +116,7 @@ class LintConfig:
     now_arithmetic_scope: tuple[str, ...] = (
         "repro.core", "repro.cpu", "repro.gpu", "repro.storage",
         "repro.dedup", "repro.compression", "repro.workload",
-        "repro.bench",
+        "repro.bench", "repro.cluster",
     )
 
     # -- data-plane hot loops (REP502) -------------------------------------
@@ -136,7 +136,7 @@ class LintConfig:
     batched_plane_scope: tuple[str, ...] = (
         "repro.core.pipeline", "repro.chunkbatch",
         "repro.dedup.hashing", "repro.compression.parallel_cpu",
-        "repro.workload.vdbench",
+        "repro.workload.vdbench", "repro.cluster.router",
     )
     #: Bare names treated as chunk sequences when iterated.
     chunkseq_names: tuple[str, ...] = (
@@ -214,6 +214,7 @@ class LintConfig:
         "repro.core", "repro.compression", "repro.dedup",
         "repro.workload", "repro.sim", "repro.cpu", "repro.gpu",
         "repro.storage", "repro.chunkbatch", "repro.types",
+        "repro.cluster",
     )
     #: The audited module-level singletons (dotted names), each a
     #: bounded content-keyed cache documented in DESIGN.md §13.
@@ -222,6 +223,18 @@ class LintConfig:
         "repro.compression.quicklz._HASH_CACHE",
         "repro.compression.lzss._OCC_CACHE",
         "repro.dedup.index_base._CACHES",
+    )
+
+    # -- cluster shard isolation (REP801) ----------------------------------
+    #: The one package allowed to touch shard-private state directly;
+    #: everywhere else the router and the NetLink mediate (DESIGN.md
+    #: §14).
+    cluster_private_scope: tuple[str, ...] = ("repro.cluster",)
+    #: Attribute names that constitute shard-private state: per-shard
+    #: reduction batteries and the executor's worker/pipe tables.
+    cluster_private_attrs: tuple[str, ...] = (
+        "_workers", "_connections", "_processes", "_engine",
+        "_compressor",
     )
 
     def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:

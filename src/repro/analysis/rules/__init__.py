@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.config import LintConfig
 from repro.analysis.rules.aliasing import SharedViewMutationChecker
 from repro.analysis.rules.batchplane import ChunkLoopChecker
+from repro.analysis.rules.cluster import ClusterIsolationChecker
 from repro.analysis.rules.effects_memo import MemoPurityChecker
 from repro.analysis.rules.dataplane import (
     ByteLoopMatchExtensionChecker,
@@ -50,6 +51,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     SharedViewMutationChecker,  # REP702
     RngFlowChecker,            # REP703
     ModuleStateChecker,        # REP704
+    ClusterIsolationChecker,   # REP801
 )
 
 

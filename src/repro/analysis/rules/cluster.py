@@ -1,0 +1,102 @@
+"""Cluster shard-isolation rule (REP801).
+
+The cluster's correctness story rests on one discipline: a shard's
+reduction state (its DedupEngine, compressor, worker pool, pipes) is
+private to :mod:`repro.cluster`, and every cross-shard interaction is
+mediated by the router and charged through the NetLink (DESIGN.md
+§14).  Code outside the package that reaches a shard's internals —
+``executor._workers[i]._engine`` and friends — bypasses both the
+byte-accounting and the partition-invariance argument: it can observe
+(or worse, mutate) per-shard index state that the merged report
+assumes only routed windows ever touched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.visitors import Checker, ScopeTracker
+
+
+class ClusterIsolationChecker(Checker):
+    """REP801: no direct shard-internal access outside ``repro.cluster``.
+
+    Flags, in modules that import from ``repro.cluster`` but live
+    outside it, (a) attribute reads of the shard-private names the
+    config lists (worker engines, executor pools, pipe tables) and
+    (b) calls to the child-process entrypoint.  The public surface —
+    ``ClusterEngine``, the router, the NetLink, merged reports — is
+    untouched; so is everything in files that never touch the cluster
+    package (the attribute names alone are too generic to patrol
+    globally).
+    """
+
+    rule = "REP801"
+    name = "cluster-shard-isolation"
+    description = ("direct access to shard-private cluster state "
+                   "outside repro.cluster (router/NetLink must "
+                   "mediate cross-shard traffic)")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module is None:
+            return False
+        return not self.config.in_scope(
+            ctx.module, self.config.cluster_private_scope)
+
+    def _imports_cluster(self, ctx: FileContext) -> bool:
+        scope = self.config.cluster_private_scope
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module \
+                    and self.config.in_scope(node.module, scope):
+                return True
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self.config.in_scope(alias.name, scope):
+                        return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        if not self._imports_cluster(ctx):
+            return
+        findings: list[Diagnostic] = []
+        checker = self
+        private_attrs = frozenset(self.config.cluster_private_attrs)
+
+        class Visitor(ScopeTracker):
+            def visit_Attribute(self, node: ast.Attribute) -> None:
+                if node.attr in private_attrs:
+                    findings.append(checker.diag(
+                        ctx, node,
+                        f"`.{node.attr}` is shard-private cluster "
+                        f"state — outside repro.cluster all "
+                        f"cross-shard traffic goes through the "
+                        f"router and the NetLink",
+                        hint="drive the cluster through "
+                             "ClusterEngine.run()/plan_rebalance() "
+                             "and read the merged report",
+                        key=f"{self.qualname}:{node.attr}"))
+                self.generic_visit(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name == "_shard_worker_main":
+                    findings.append(checker.diag(
+                        ctx, node,
+                        "`_shard_worker_main` is the mp child "
+                        "entrypoint — spawning shard workers outside "
+                        "the executor skips report collection and "
+                        "NetLink accounting",
+                        hint="use make_executor()/ClusterEngine "
+                             "instead of raw shard processes",
+                        key=f"{self.qualname}:_shard_worker_main"))
+                self.generic_visit(node)
+
+        Visitor().visit(ctx.tree)
+        yield from findings

@@ -1,9 +1,10 @@
 """One command over every bench plane: ``repro bench all``.
 
-Runs the four perf planes back to back — engine hot path, data-plane
-functional loops, dedup index plane, batched functional pipeline — and
-folds their scenario timings into a single baseline-vs-current summary
-table, so "did anything regress?" is one invocation instead of four.
+Runs the five perf planes back to back — engine hot path, data-plane
+functional loops, dedup index plane, batched functional pipeline,
+cluster sharding — and folds their scenario timings into a single
+baseline-vs-current summary table, so "did anything regress?" is one
+invocation instead of five.
 
 Each plane keeps its own pinned seed baselines and identity checks;
 this driver only aggregates.  It deliberately passes ``out_path=None``
@@ -16,38 +17,10 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from repro.bench.common import scenario_rows
+
 #: Plane order in the summary (also the run order: fast first).
-PLANES = ("engine", "dataplane", "dedup", "pipeline")
-
-
-def _scenario_rows(plane: str, results: dict) -> list[dict[str, Any]]:
-    """Extract ``baseline vs current`` rows from one plane's results.
-
-    A scenario qualifies when its entry pins a ``baseline_<rate>`` next
-    to the measured ``<rate>`` and a ``speedup`` — the shape every
-    plane's ``_rate_entry`` helper emits.  Seconds-based entries (the
-    engine's per-mode E4 timings) are folded into the plane aggregate
-    instead of listed per scenario.
-    """
-    rows = []
-    for key, entry in results.items():
-        if not isinstance(entry, dict) or "speedup" not in entry:
-            continue
-        baseline_key = next(
-            (k for k in entry
-             if k.startswith("baseline_") and k.endswith("_per_s")), None)
-        if baseline_key is None:
-            continue
-        rate_key = baseline_key[len("baseline_"):]
-        rows.append({
-            "plane": plane,
-            "scenario": entry.get("scenario", key),
-            "unit": rate_key.replace("_per_s", "/s"),
-            "current": entry[rate_key],
-            "baseline": entry[baseline_key],
-            "speedup": entry["speedup"],
-        })
-    return rows
+PLANES = ("engine", "dataplane", "dedup", "pipeline", "cluster")
 
 
 def _plane_aggregate(plane: str, results: dict,
@@ -78,6 +51,7 @@ def run_all_benches(quick: bool = False) -> dict:
     plane always runs at the golden chunk count because its pinned
     baselines are only meaningful there.
     """
+    from repro.bench.cluster import run_cluster_bench
     from repro.bench.dataplane import run_dataplane_bench
     from repro.bench.dedup import run_dedup_bench
     from repro.bench.perf import run_engine_bench
@@ -88,13 +62,14 @@ def run_all_benches(quick: bool = False) -> dict:
         "dataplane": run_dataplane_bench(quick=quick, out_path=None),
         "dedup": run_dedup_bench(quick=quick, out_path=None),
         "pipeline": run_pipeline_bench(quick=quick, out_path=None),
+        "cluster": run_cluster_bench(quick=quick, out_path=None),
     }
     rows: list[dict[str, Any]] = []
     aggregates: dict[str, Optional[float]] = {}
     identity: dict[str, bool] = {}
     for plane in PLANES:
         results = plane_results[plane]
-        plane_rows = _scenario_rows(plane, results)
+        plane_rows = scenario_rows(plane, results)
         rows.extend(plane_rows)
         aggregates[plane] = _plane_aggregate(plane, results, plane_rows)
         identity[plane] = _plane_identity(plane, results)

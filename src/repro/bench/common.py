@@ -1,0 +1,248 @@
+"""Shared bench-plane harness (baseline pinning, timing, plumbing).
+
+Every perf plane (``dataplane``, ``dedup``, ``pipeline``, ``cluster``)
+follows the same contract: scenarios measured best-of-N against pinned
+seed baselines, a geometric-mean aggregate, identity checks that run
+everywhere while wall-clock gates stay behind ``REPRO_PERF_TIMING=1``,
+and ``--profile/--trace/--quick`` plumbing plus a committed
+``BENCH_<plane>.json`` snapshot.  This module is the one copy of that
+boilerplate; the plane modules keep only their scenarios, baselines and
+goldens.
+
+The helpers are shape-preserving: a plane refactored onto them emits
+byte-identical ``BENCH_*.json`` entries (same keys, same values) as
+the hand-rolled originals they replace.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Iterable, Optional
+
+__all__ = [
+    "attach_profile",
+    "attach_trace",
+    "best_of",
+    "fold_fields_ok",
+    "geomean",
+    "json_summary",
+    "rate_entry",
+    "render_identity_lines",
+    "render_rate_lines",
+    "render_tail",
+    "scenario_rows",
+    "speedup_suffix",
+    "set_aggregate",
+    "start_profile",
+    "write_results",
+]
+
+
+# -- timing ------------------------------------------------------------------
+
+def best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds of ``repeats`` calls to ``fn``."""
+    best: Optional[float] = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def rate_entry(name: str, ops: int, seconds: float, unit: str,
+               baselines: dict[str, float], *, scale: float = 1.0,
+               ops_key: str = "ops",
+               include_scenario: bool = True) -> dict:
+    """One scenario's measured rate next to its pinned seed baseline.
+
+    The emitted shape is what the ``bench all`` summary and the
+    ``--json`` output key on: the measured ``<unit>`` rate beside
+    ``baseline_<unit>`` and ``speedup`` whenever ``name`` has a pinned
+    baseline.  ``scale`` converts ops/second into the reported unit
+    (e.g. ``1e-6`` for bytes -> MB/s); ``ops_key`` names the work field
+    (``ops``, ``bytes``, …).
+    """
+    rate = ops / seconds * scale
+    entry: dict[str, Any] = {}
+    if include_scenario:
+        entry["scenario"] = name
+    entry[ops_key] = ops
+    entry["seconds"] = seconds
+    entry[unit] = rate
+    baseline = baselines.get(name)
+    if baseline:
+        entry[f"baseline_{unit}"] = baseline
+        entry["speedup"] = rate / baseline
+    return entry
+
+
+# -- aggregation -------------------------------------------------------------
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of a non-empty value sequence."""
+    product = 1.0
+    count = 0
+    for value in values:
+        product *= value
+        count += 1
+    return product ** (1.0 / count)
+
+
+def set_aggregate(results: dict, scenarios: Iterable[str],
+                  required: float) -> None:
+    """Fold scenario speedups into ``aggregate_speedup`` (geomean).
+
+    Only set when *every* named scenario carries a speedup — a partial
+    aggregate would silently compare against a different baseline set.
+    """
+    names = list(scenarios)
+    speedups = [results[name]["speedup"] for name in names
+                if "speedup" in results[name]]
+    if len(speedups) == len(names):
+        results["aggregate_speedup"] = geomean(speedups)
+        results["required_speedup"] = required
+
+
+def fold_fields_ok(results: dict, keys: Iterable[str]) -> None:
+    """Fold per-check ``fields_ok`` flags into the top-level one."""
+    results["fields_ok"] = all(
+        results[key]["fields_ok"] for key in keys if key in results)
+
+
+# -- --profile / --trace / output plumbing -----------------------------------
+
+def start_profile(profile: bool):
+    """An enabled ``cProfile.Profile`` when profiling was requested."""
+    if not profile:
+        return None
+    import cProfile
+    profiler = cProfile.Profile()
+    profiler.enable()
+    return profiler
+
+
+def attach_profile(profiler, results: dict) -> None:
+    """Stop ``profiler`` and attach its top-25 cumulative table."""
+    if profiler is None:
+        return
+    import io
+    import pstats
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream) \
+        .sort_stats("cumulative").print_stats(25)
+    results["profile_top"] = stream.getvalue()
+
+
+def attach_trace(results: dict, trace_path: Optional[str], mode,
+                 chunks: int) -> None:
+    """Run one traced pipeline for ``mode`` and record the bundle."""
+    if not trace_path:
+        return
+    from repro.bench.tracing import write_trace_bundle
+    results["trace"] = write_trace_bundle(trace_path, mode, chunks)
+
+
+def write_results(results: dict, out_path: Optional[str]) -> None:
+    """Write the snapshot JSON and stamp ``written_to``."""
+    if not out_path:
+        return
+    with open(out_path, "w") as handle:
+        json.dump(results, handle, indent=2)
+    results["written_to"] = out_path
+
+
+# -- shared rendering --------------------------------------------------------
+
+def speedup_suffix(entry: dict) -> str:
+    """The ``(N.NNx vs seed baseline)`` annotation, when pinned."""
+    if "speedup" not in entry:
+        return ""
+    return f"  ({entry['speedup']:.2f}x vs seed baseline)"
+
+
+def render_rate_lines(results: dict, units: dict[str, str],
+                      lines: list[str]) -> None:
+    """One aligned line per scenario, plus the geomean aggregate."""
+    for scenario, unit in units.items():
+        entry = results[scenario]
+        lines.append(f"{scenario:<18} {entry[unit]:>14,.0f} "
+                     f"{unit.replace('_per_s', '')}/s"
+                     f"{speedup_suffix(entry)}")
+    if "aggregate_speedup" in results:
+        lines.append(f"{'aggregate':<18} "
+                     f"{results['aggregate_speedup']:>13.2f}x geomean "
+                     f"(required {results['required_speedup']:.1f}x)")
+
+
+def render_identity_lines(results: dict, keys: Iterable[str],
+                          lines: list[str]) -> None:
+    """One ``ok``/``MISMATCH!`` verdict line per identity check run."""
+    for key in keys:
+        if key in results:
+            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
+            lines.append(f"{key:<18} {ok}")
+
+
+def render_tail(results: dict, lines: list[str]) -> str:
+    """The profile/trace/written-to footer every plane renders."""
+    if "profile_top" in results:
+        lines.append("")
+        lines.append(results["profile_top"])
+    if "trace" in results:
+        from repro.bench.tracing import trace_summary_line
+        lines.append(trace_summary_line(results["trace"]))
+    if "written_to" in results:
+        lines.append(f"results written to {results['written_to']}")
+    return "\n".join(lines)
+
+
+# -- machine-readable summaries (``bench all`` and ``--json``) ---------------
+
+def scenario_rows(plane: str, results: dict) -> list[dict[str, Any]]:
+    """Extract ``baseline vs current`` rows from one plane's results.
+
+    A scenario qualifies when its entry pins a ``baseline_<rate>`` next
+    to the measured ``<rate>`` and a ``speedup`` — the shape
+    :func:`rate_entry` emits.  Seconds-based entries (the engine's
+    per-mode E4 timings) are folded into the plane aggregate instead of
+    listed per scenario.
+    """
+    rows = []
+    for key, entry in results.items():
+        if not isinstance(entry, dict) or "speedup" not in entry:
+            continue
+        baseline_key = next(
+            (k for k in entry
+             if k.startswith("baseline_") and k.endswith("_per_s")), None)
+        if baseline_key is None:
+            continue
+        rate_key = baseline_key[len("baseline_"):]
+        rows.append({
+            "plane": plane,
+            "scenario": entry.get("scenario", key),
+            "unit": rate_key.replace("_per_s", "/s"),
+            "current": entry[rate_key],
+            "baseline": entry[baseline_key],
+            "speedup": entry["speedup"],
+        })
+    return rows
+
+
+def json_summary(plane: str, results: dict) -> dict[str, Any]:
+    """The ``repro bench <plane> --json`` payload: current-vs-baseline
+    rows plus the plane verdicts, without the free-form scenario dicts
+    (CI asserts on this; the full snapshot lives in ``BENCH_*.json``)."""
+    nested = (results.get("e4", {})
+              if plane == "engine" else results)
+    return {
+        "plane": plane,
+        "quick": bool(results.get("quick", False)),
+        "rows": scenario_rows(plane, results),
+        "aggregate_speedup": nested.get("aggregate_speedup"),
+        "required_speedup": nested.get("required_speedup"),
+        "fields_ok": bool(nested.get("fields_ok", True)),
+    }

@@ -38,11 +38,22 @@ meaningful everywhere.
 from __future__ import annotations
 
 import hashlib
-import json
 import random
 import time
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
+from repro.bench.common import (
+    attach_profile,
+    attach_trace,
+    best_of,
+    fold_fields_ok,
+    rate_entry,
+    render_identity_lines,
+    render_tail,
+    speedup_suffix,
+    start_profile,
+    write_results,
+)
 from repro.compression import lz_common
 from repro.compression.lz_common import key3_array
 from repro.compression.lzss import LzssCodec, MatchFinder
@@ -197,18 +208,6 @@ def duplicate_stream(copies: int = 8) -> list[bytes]:
     return unique * copies
 
 
-# -- timing helper ----------------------------------------------------------
-
-def _best_of(fn: Callable[[], Any], repeats: int) -> float:
-    best: Optional[float] = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    return best
-
-
 # -- scenarios --------------------------------------------------------------
 
 def bench_hash_array(repeats: int = 5) -> dict:
@@ -226,14 +225,10 @@ def bench_hash_array(repeats: int = 5) -> dict:
         for payload in payloads:
             key3_array(payload)
 
-    seconds = _best_of(run, repeats)
-    rate = total_keys / seconds
-    result = {"scenario": "hash_array", "keys": total_keys,
-              "seconds": seconds, "keys_per_s": rate}
-    if BASELINE_HASH_KEYS_PER_S:
-        result["baseline_keys_per_s"] = BASELINE_HASH_KEYS_PER_S
-        result["speedup"] = rate / BASELINE_HASH_KEYS_PER_S
-    return result
+    seconds = best_of(run, repeats)
+    return rate_entry("hash_array", total_keys, seconds, "keys_per_s",
+                      {"hash_array": BASELINE_HASH_KEYS_PER_S},
+                      ops_key="keys")
 
 
 def bench_match_finder(repeats: int = 3) -> dict:
@@ -256,24 +251,17 @@ def bench_match_finder(repeats: int = 3) -> dict:
                     finder.insert(pos)
                     pos += 1
 
-    seconds = _best_of(run, repeats)
-    rate = total_positions / seconds
-    result = {"scenario": "match_finder", "positions": total_positions,
-              "seconds": seconds, "positions_per_s": rate}
-    if BASELINE_MATCH_POSITIONS_PER_S:
-        result["baseline_positions_per_s"] = BASELINE_MATCH_POSITIONS_PER_S
-        result["speedup"] = rate / BASELINE_MATCH_POSITIONS_PER_S
-    return result
+    seconds = best_of(run, repeats)
+    return rate_entry("match_finder", total_positions, seconds,
+                      "positions_per_s",
+                      {"match_finder": BASELINE_MATCH_POSITIONS_PER_S},
+                      ops_key="positions")
 
 
 def _mb_s_entry(name: str, nbytes: int, seconds: float) -> dict:
-    rate = nbytes / seconds / 1e6
-    entry = {"bytes": nbytes, "seconds": seconds, "mb_per_s": rate}
-    baseline = BASELINE_MB_S.get(name)
-    if baseline:
-        entry["baseline_mb_per_s"] = baseline
-        entry["speedup"] = rate / baseline
-    return entry
+    return rate_entry(name, nbytes, seconds, "mb_per_s", BASELINE_MB_S,
+                      scale=1e-6, ops_key="bytes",
+                      include_scenario=False)
 
 
 def bench_encode(repeats: int = 5) -> dict:
@@ -282,9 +270,9 @@ def bench_encode(repeats: int = 5) -> dict:
     nbytes = sum(len(p) for p in payloads)
     quicklz, lzss = QuickLzCodec(), LzssCodec()
 
-    q_seconds = _best_of(
+    q_seconds = best_of(
         lambda: [quicklz.encode(p) for p in payloads], repeats)
-    l_seconds = _best_of(
+    l_seconds = best_of(
         lambda: [lzss.encode(p) for p in payloads], repeats)
     result = {
         "scenario": "encode",
@@ -304,9 +292,9 @@ def bench_decode(repeats: int = 5) -> dict:
     q_blobs = [quicklz.encode(p) for p in payloads]
     l_blobs = [lzss.encode(p) for p in payloads]
 
-    q_seconds = _best_of(
+    q_seconds = best_of(
         lambda: [quicklz.decode(b) for b in q_blobs], repeats)
-    l_seconds = _best_of(
+    l_seconds = best_of(
         lambda: [lzss.decode(b) for b in l_blobs], repeats)
     return {
         "scenario": "decode",
@@ -327,7 +315,7 @@ def bench_gpu_segments(repeats: int = 3,
         for payload, per_chunk in zip(payloads, kernel.execute()):
             refine_to_container(payload, per_chunk)
 
-    seconds = _best_of(run, repeats)
+    seconds = best_of(run, repeats)
     result = {"scenario": "gpu_segments",
               "segments_per_chunk": segments_per_chunk}
     result.update(_mb_s_entry("gpu_segments", nbytes, seconds))
@@ -460,12 +448,9 @@ def run_dataplane_bench(quick: bool = False, profile: bool = False,
     runs one traced ``gpu_comp`` pipeline (the compression-heavy mode
     this bench's loops feed) and writes its Chrome trace there.
     """
-    profiler = None
-    if profile:
-        import cProfile
-        profiler = cProfile.Profile()
-        profiler.enable()
+    from repro.core.modes import IntegrationMode
 
+    profiler = start_profile(profile)
     repeats = 2 if quick else 5
     results: dict[str, Any] = {
         "bench": "dataplane-hotpath",
@@ -481,30 +466,12 @@ def run_dataplane_bench(quick: bool = False, profile: bool = False,
     }
     if not quick:
         results["golden_e4"] = check_golden_e4()
-    results["fields_ok"] = all(
-        results[key]["fields_ok"]
-        for key in ("golden_streams", "golden_a7", "golden_e4")
-        if key in results)
-
-    if profiler is not None:
-        import io
-        import pstats
-        profiler.disable()
-        stream = io.StringIO()
-        pstats.Stats(profiler, stream=stream) \
-            .sort_stats("cumulative").print_stats(25)
-        results["profile_top"] = stream.getvalue()
-    if trace_path:
-        from repro.bench.tracing import write_trace_bundle
-        from repro.core.modes import IntegrationMode
-
-        results["trace"] = write_trace_bundle(
-            trace_path, IntegrationMode.GPU_COMP,
-            2048 if quick else 8192)
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(results, handle, indent=2)
-        results["written_to"] = out_path
+    fold_fields_ok(results, ("golden_streams", "golden_a7",
+                             "golden_e4"))
+    attach_profile(profiler, results)
+    attach_trace(results, trace_path, IntegrationMode.GPU_COMP,
+                 2048 if quick else 8192)
+    write_results(results, out_path)
     return results
 
 
@@ -513,9 +480,8 @@ def render_dataplane_bench(results: dict) -> str:
     lines = []
 
     def rate_line(label: str, entry: dict, unit: str, key: str) -> None:
-        speed = (f"  ({entry['speedup']:.2f}x vs seed baseline)"
-                 if "speedup" in entry else "")
-        lines.append(f"{label:<18} {entry[key]:>14,.0f} {unit}{speed}")
+        lines.append(f"{label:<18} {entry[key]:>14,.0f} {unit}"
+                     f"{speedup_suffix(entry)}")
 
     rate_line("hash array", results["hash_array"], "keys/s",
               "keys_per_s")
@@ -534,16 +500,6 @@ def render_dataplane_bench(results: dict) -> str:
     lines.append(f"memo              hit rate {memo['hit_rate']:.1%}, "
                  f"warm pass {memo['warm_speedup_vs_unmemoized']:.1f}x "
                  f"vs unmemoized")
-    for key in ("golden_streams", "golden_a7", "golden_e4"):
-        if key in results:
-            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
-            lines.append(f"{key:<18} {ok}")
-    if "profile_top" in results:
-        lines.append("")
-        lines.append(results["profile_top"])
-    if "trace" in results:
-        from repro.bench.tracing import trace_summary_line
-        lines.append(trace_summary_line(results["trace"]))
-    if "written_to" in results:
-        lines.append(f"results written to {results['written_to']}")
-    return "\n".join(lines)
+    render_identity_lines(
+        results, ("golden_streams", "golden_a7", "golden_e4"), lines)
+    return render_tail(results, lines)

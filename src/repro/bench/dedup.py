@@ -44,9 +44,21 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import time
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
+from repro.bench.common import (
+    attach_profile,
+    attach_trace,
+    best_of,
+    fold_fields_ok,
+    rate_entry,
+    render_identity_lines,
+    render_rate_lines,
+    render_tail,
+    set_aggregate,
+    start_profile,
+    write_results,
+)
 from repro.dedup.bin_buffer import BinBuffer, FlushEvent
 from repro.dedup.bins import BinTable
 from repro.dedup.engine import DedupEngine, _StagedInfo
@@ -114,27 +126,6 @@ def _probe_mix(present: list[bytes], absent: list[bytes]) -> list[bytes]:
     return mixed
 
 
-def _best_of(fn: Callable[[], Any], repeats: int) -> float:
-    best: Optional[float] = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    return best
-
-
-def _rate_entry(name: str, ops: int, seconds: float, unit: str) -> dict:
-    rate = ops / seconds
-    entry = {"scenario": name, "ops": ops, "seconds": seconds,
-             unit: rate}
-    baseline = BASELINE_RATES.get(name)
-    if baseline and baseline > 1.0:
-        entry[f"baseline_{unit}"] = baseline
-        entry["speedup"] = rate / baseline
-    return entry
-
-
 # -- scenarios --------------------------------------------------------------
 
 def bench_buffer_probe(repeats: int = 5, staged: int = 4096,
@@ -158,9 +149,9 @@ def bench_buffer_probe(repeats: int = 5, staged: int = 4096,
             for fingerprint in probes:
                 lookup(fingerprint)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("buffer_probe", len(probes) * passes, seconds,
-                       "probes_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("buffer_probe", len(probes) * passes, seconds,
+                      "probes_per_s", BASELINE_RATES)
 
 
 def bench_tree_probe(repeats: int = 5, entries: int = 8192,
@@ -192,9 +183,9 @@ def bench_tree_probe(repeats: int = 5, entries: int = 8192,
                     view = decompose(fingerprint, pb, cache)
                 probe(view)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("tree_probe", len(probes) * passes, seconds,
-                       "probes_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("tree_probe", len(probes) * passes, seconds,
+                      "probes_per_s", BASELINE_RATES)
 
 
 def bench_gpu_batch_lookup(repeats: int = 5, stored: int = 8192,
@@ -219,9 +210,9 @@ def bench_gpu_batch_lookup(repeats: int = 5, stored: int = 8192,
             slots = kernel.execute()
             index.record_results(queries, slots)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("gpu_batch_lookup", len(queries) * passes,
-                       seconds, "queries_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("gpu_batch_lookup", len(queries) * passes,
+                      seconds, "queries_per_s", BASELINE_RATES)
 
 
 def _flush_events(events: int, per_event: int,
@@ -261,9 +252,10 @@ def bench_flush_install(repeats: int = 5, events: int = 64,
         for event in overflow:
             engine._apply_flush(event)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("flush_install",
-                       2 * events * per_event, seconds, "entries_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("flush_install",
+                      2 * events * per_event, seconds, "entries_per_s",
+                      BASELINE_RATES)
 
 
 # -- identity ---------------------------------------------------------------
@@ -323,12 +315,9 @@ def run_dedup_bench(quick: bool = False, profile: bool = False,
     (the index-heavy mode this bench's structures feed) and writes its
     Chrome trace there.
     """
-    profiler = None
-    if profile:
-        import cProfile
-        profiler = cProfile.Profile()
-        profiler.enable()
+    from repro.core.modes import IntegrationMode
 
+    profiler = start_profile(profile)
     repeats = 2 if quick else 5
     results: dict[str, Any] = {
         "bench": "dedup-index-plane",
@@ -343,41 +332,13 @@ def run_dedup_bench(quick: bool = False, profile: bool = False,
     if not quick:
         from repro.bench.dataplane import check_golden_e4
         results["golden_e4"] = check_golden_e4()
-    results["fields_ok"] = all(
-        results[key]["fields_ok"]
-        for key in ("golden_reports", "kernel_equivalence", "golden_e4")
-        if key in results)
-
-    speedups = [results[s]["speedup"]
-                for s in ("buffer_probe", "tree_probe",
-                          "gpu_batch_lookup", "flush_install")
-                if "speedup" in results[s]]
-    if len(speedups) == len(BASELINE_RATES):
-        product = 1.0
-        for speedup in speedups:
-            product *= speedup
-        results["aggregate_speedup"] = product ** (1 / len(speedups))
-        results["required_speedup"] = REQUIRED_INDEX_SPEEDUP
-
-    if profiler is not None:
-        import io
-        import pstats
-        profiler.disable()
-        stream = io.StringIO()
-        pstats.Stats(profiler, stream=stream) \
-            .sort_stats("cumulative").print_stats(25)
-        results["profile_top"] = stream.getvalue()
-    if trace_path:
-        from repro.bench.tracing import write_trace_bundle
-        from repro.core.modes import IntegrationMode
-
-        results["trace"] = write_trace_bundle(
-            trace_path, IntegrationMode.GPU_DEDUP,
-            2048 if quick else 8192)
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(results, handle, indent=2)
-        results["written_to"] = out_path
+    fold_fields_ok(results, ("golden_reports", "kernel_equivalence",
+                             "golden_e4"))
+    set_aggregate(results, BASELINE_RATES, REQUIRED_INDEX_SPEEDUP)
+    attach_profile(profiler, results)
+    attach_trace(results, trace_path, IntegrationMode.GPU_DEDUP,
+                 2048 if quick else 8192)
+    write_results(results, out_path)
     return results
 
 
@@ -388,26 +349,8 @@ def render_dedup_bench(results: dict) -> str:
              "tree_probe": "probes_per_s",
              "gpu_batch_lookup": "queries_per_s",
              "flush_install": "entries_per_s"}
-    for scenario, unit in units.items():
-        entry = results[scenario]
-        speed = (f"  ({entry['speedup']:.2f}x vs seed baseline)"
-                 if "speedup" in entry else "")
-        lines.append(f"{scenario:<18} {entry[unit]:>14,.0f} "
-                     f"{unit.replace('_per_s', '')}/s{speed}")
-    if "aggregate_speedup" in results:
-        lines.append(f"{'aggregate':<18} "
-                     f"{results['aggregate_speedup']:>13.2f}x geomean "
-                     f"(required {results['required_speedup']:.1f}x)")
-    for key in ("golden_reports", "kernel_equivalence", "golden_e4"):
-        if key in results:
-            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
-            lines.append(f"{key:<18} {ok}")
-    if "profile_top" in results:
-        lines.append("")
-        lines.append(results["profile_top"])
-    if "trace" in results:
-        from repro.bench.tracing import trace_summary_line
-        lines.append(trace_summary_line(results["trace"]))
-    if "written_to" in results:
-        lines.append(f"results written to {results['written_to']}")
-    return "\n".join(lines)
+    render_rate_lines(results, units, lines)
+    render_identity_lines(
+        results, ("golden_reports", "kernel_equivalence", "golden_e4"),
+        lines)
+    return render_tail(results, lines)

@@ -45,9 +45,21 @@ import dataclasses
 import hashlib
 import json
 import random
-import time
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
+from repro.bench.common import (
+    attach_profile,
+    attach_trace,
+    best_of,
+    fold_fields_ok,
+    rate_entry,
+    render_identity_lines,
+    render_rate_lines,
+    render_tail,
+    set_aggregate,
+    start_profile,
+    write_results,
+)
 from repro.compression.memo import CodecMemo
 from repro.compression.parallel_cpu import CpuCompressor
 from repro.dedup.hashing import PayloadHashMemo, fingerprint_window
@@ -83,27 +95,6 @@ FTL_BLOCKS = 64
 FTL_PAGES_PER_BLOCK = 64
 
 
-def _best_of(fn: Callable[[], Any], repeats: int) -> float:
-    best: Optional[float] = None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        fn()
-        elapsed = time.perf_counter() - started
-        best = elapsed if best is None else min(best, elapsed)
-    return best
-
-
-def _rate_entry(name: str, ops: int, seconds: float, unit: str) -> dict:
-    rate = ops / seconds
-    entry = {"scenario": name, "ops": ops, "seconds": seconds,
-             unit: rate}
-    baseline = BASELINE_RATES.get(name)
-    if baseline and baseline > 1.0:
-        entry[f"baseline_{unit}"] = baseline
-        entry["speedup"] = rate / baseline
-    return entry
-
-
 def _payload_window(count: int = WINDOW_CHUNKS, seed: int = 7) -> list:
     """The dup-heavy payload window shared by the hashing and codec
     scenarios (exactly the corpus the seed baselines were measured on)."""
@@ -127,9 +118,9 @@ def bench_chunk_materialize(repeats: int = 5,
         for _ in stream.chunks_batched(chunks, MATERIALIZE_WINDOW):
             pass
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("chunk_materialize", chunks, seconds,
-                       "chunks_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("chunk_materialize", chunks, seconds,
+                       "chunks_per_s", BASELINE_RATES)
 
 
 def bench_fingerprint_window(repeats: int = 5,
@@ -148,9 +139,9 @@ def bench_fingerprint_window(repeats: int = 5,
         for _ in range(passes):
             fingerprint_window(window, memo=memo)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("fingerprint_window", len(window) * passes,
-                       seconds, "chunks_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("fingerprint_window", len(window) * passes,
+                       seconds, "chunks_per_s", BASELINE_RATES)
 
 
 def bench_codec_dispatch(repeats: int = 5,
@@ -173,9 +164,9 @@ def bench_codec_dispatch(repeats: int = 5,
         for _ in range(passes):
             comp.compress_window(window)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("codec_dispatch", len(window) * passes, seconds,
-                       "chunks_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("codec_dispatch", len(window) * passes, seconds,
+                       "chunks_per_s", BASELINE_RATES)
 
 
 def bench_destage_account(repeats: int = 5) -> dict:
@@ -196,9 +187,9 @@ def bench_destage_account(repeats: int = 5) -> dict:
         ftl.write_run(fill)
         ftl.write_run(churn)
 
-    seconds = _best_of(run, repeats)
-    return _rate_entry("destage_account", len(fill) + len(churn),
-                       seconds, "pages_per_s")
+    seconds = best_of(run, repeats)
+    return rate_entry("destage_account", len(fill) + len(churn),
+                       seconds, "pages_per_s", BASELINE_RATES)
 
 
 # -- identity ---------------------------------------------------------------
@@ -259,13 +250,9 @@ def run_pipeline_bench(quick: bool = False, profile: bool = False,
     its Chrome trace there.
     """
     from repro.bench.dedup import check_golden_reports
+    from repro.core.modes import IntegrationMode
 
-    profiler = None
-    if profile:
-        import cProfile
-        profiler = cProfile.Profile()
-        profiler.enable()
-
+    profiler = start_profile(profile)
     repeats = 2 if quick else 5
     results: dict[str, Any] = {
         "bench": "pipeline-functional-plane",
@@ -280,41 +267,13 @@ def run_pipeline_bench(quick: bool = False, profile: bool = False,
     if not quick:
         from repro.bench.dataplane import check_golden_e4
         results["golden_e4"] = check_golden_e4()
-    results["fields_ok"] = all(
-        results[key]["fields_ok"]
-        for key in ("golden_reports", "batched_equivalence", "golden_e4")
-        if key in results)
-
-    speedups = [results[s]["speedup"]
-                for s in ("chunk_materialize", "fingerprint_window",
-                          "codec_dispatch", "destage_account")
-                if "speedup" in results[s]]
-    if len(speedups) == len(BASELINE_RATES):
-        product = 1.0
-        for speedup in speedups:
-            product *= speedup
-        results["aggregate_speedup"] = product ** (1 / len(speedups))
-        results["required_speedup"] = REQUIRED_PIPELINE_SPEEDUP
-
-    if profiler is not None:
-        import io
-        import pstats
-        profiler.disable()
-        stream = io.StringIO()
-        pstats.Stats(profiler, stream=stream) \
-            .sort_stats("cumulative").print_stats(25)
-        results["profile_top"] = stream.getvalue()
-    if trace_path:
-        from repro.bench.tracing import write_trace_bundle
-        from repro.core.modes import IntegrationMode
-
-        results["trace"] = write_trace_bundle(
-            trace_path, IntegrationMode.GPU_COMP,
-            2048 if quick else 8192)
-    if out_path:
-        with open(out_path, "w") as handle:
-            json.dump(results, handle, indent=2)
-        results["written_to"] = out_path
+    fold_fields_ok(results, ("golden_reports", "batched_equivalence",
+                             "golden_e4"))
+    set_aggregate(results, BASELINE_RATES, REQUIRED_PIPELINE_SPEEDUP)
+    attach_profile(profiler, results)
+    attach_trace(results, trace_path, IntegrationMode.GPU_COMP,
+                 2048 if quick else 8192)
+    write_results(results, out_path)
     return results
 
 
@@ -325,26 +284,8 @@ def render_pipeline_bench(results: dict) -> str:
              "fingerprint_window": "chunks_per_s",
              "codec_dispatch": "chunks_per_s",
              "destage_account": "pages_per_s"}
-    for scenario, unit in units.items():
-        entry = results[scenario]
-        speed = (f"  ({entry['speedup']:.2f}x vs seed baseline)"
-                 if "speedup" in entry else "")
-        lines.append(f"{scenario:<18} {entry[unit]:>14,.0f} "
-                     f"{unit.replace('_per_s', '')}/s{speed}")
-    if "aggregate_speedup" in results:
-        lines.append(f"{'aggregate':<18} "
-                     f"{results['aggregate_speedup']:>13.2f}x geomean "
-                     f"(required {results['required_speedup']:.1f}x)")
-    for key in ("golden_reports", "batched_equivalence", "golden_e4"):
-        if key in results:
-            ok = "ok" if results[key]["fields_ok"] else "MISMATCH!"
-            lines.append(f"{key:<18} {ok}")
-    if "profile_top" in results:
-        lines.append("")
-        lines.append(results["profile_top"])
-    if "trace" in results:
-        from repro.bench.tracing import trace_summary_line
-        lines.append(trace_summary_line(results["trace"]))
-    if "written_to" in results:
-        lines.append(f"results written to {results['written_to']}")
-    return "\n".join(lines)
+    render_rate_lines(results, units, lines)
+    render_identity_lines(
+        results, ("golden_reports", "batched_equivalence", "golden_e4"),
+        lines)
+    return render_tail(results, lines)

@@ -17,6 +17,7 @@ Six commands cover the library's everyday uses:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Optional, Sequence
@@ -249,57 +250,63 @@ def _render_result(result) -> None:
     print(f"  {result!r}")
 
 
+def _bench_planes() -> dict:
+    """Perf-plane registry: name -> (title, runner, renderer).
+
+    Runners share the harness signature (``quick``/``profile``/
+    ``trace_path`` keywords); the cluster plane additionally takes the
+    topology flags.
+    """
+    from repro.bench.cluster import render_cluster_bench, run_cluster_bench
+    from repro.bench.dataplane import (
+        render_dataplane_bench,
+        run_dataplane_bench,
+    )
+    from repro.bench.dedup import render_dedup_bench, run_dedup_bench
+    from repro.bench.perf import render_engine_bench, run_engine_bench
+    from repro.bench.pipeline import (
+        render_pipeline_bench,
+        run_pipeline_bench,
+    )
+
+    return {
+        "engine": ("engine hot-path",
+                   run_engine_bench, render_engine_bench),
+        "dataplane": ("data-plane hot loops",
+                      run_dataplane_bench, render_dataplane_bench),
+        "dedup": ("dedup index plane",
+                  run_dedup_bench, render_dedup_bench),
+        "pipeline": ("batched functional pipeline",
+                     run_pipeline_bench, render_pipeline_bench),
+        "cluster": ("cluster shard plane",
+                    run_cluster_bench, render_cluster_bench),
+    }
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.experiments import registry
 
-    if args.experiment == "engine":
-        from repro.bench.perf import render_engine_bench, run_engine_bench
-
+    if args.experiment in ("engine", "dataplane", "dedup", "pipeline",
+                           "cluster"):
+        title, run, render = _bench_planes()[args.experiment]
+        kwargs = {"profile": args.profile, "trace_path": args.trace}
+        if args.experiment != "engine":
+            kwargs["quick"] = args.quick
+        if args.experiment == "cluster":
+            kwargs["nodes"] = args.nodes
+            kwargs["executor"] = args.executor
         started = time.time()
-        results = run_engine_bench(profile=args.profile,
-                                   trace_path=args.trace)
-        print(f"=== engine hot-path "
-              f"(wall {time.time() - started:.1f} s) ===")
-        print(render_engine_bench(results))
-        return 0
-    if args.experiment == "dataplane":
-        from repro.bench.dataplane import (
-            render_dataplane_bench,
-            run_dataplane_bench,
-        )
-
-        started = time.time()
-        results = run_dataplane_bench(quick=args.quick,
-                                      profile=args.profile,
-                                      trace_path=args.trace)
-        print(f"=== data-plane hot loops "
-              f"(wall {time.time() - started:.1f} s) ===")
-        print(render_dataplane_bench(results))
-        return 0 if results["fields_ok"] else 1
-    if args.experiment == "dedup":
-        from repro.bench.dedup import render_dedup_bench, run_dedup_bench
-
-        started = time.time()
-        results = run_dedup_bench(quick=args.quick,
-                                  profile=args.profile,
-                                  trace_path=args.trace)
-        print(f"=== dedup index plane "
-              f"(wall {time.time() - started:.1f} s) ===")
-        print(render_dedup_bench(results))
-        return 0 if results["fields_ok"] else 1
-    if args.experiment == "pipeline":
-        from repro.bench.pipeline import (
-            render_pipeline_bench,
-            run_pipeline_bench,
-        )
-
-        started = time.time()
-        results = run_pipeline_bench(quick=args.quick,
-                                     profile=args.profile,
-                                     trace_path=args.trace)
-        print(f"=== batched functional pipeline "
-              f"(wall {time.time() - started:.1f} s) ===")
-        print(render_pipeline_bench(results))
+        results = run(**kwargs)
+        if args.json:
+            from repro.bench.common import json_summary
+            print(json.dumps(json_summary(args.experiment, results),
+                             indent=2))
+        else:
+            print(f"=== {title} "
+                  f"(wall {time.time() - started:.1f} s) ===")
+            print(render(results))
+        if args.experiment == "engine":
+            return 0
         return 0 if results["fields_ok"] else 1
     if args.experiment == "all":
         from repro.bench.allplanes import (
@@ -309,9 +316,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
         started = time.time()
         results = run_all_benches(quick=args.quick)
-        print(f"=== all bench planes "
-              f"(wall {time.time() - started:.1f} s) ===")
-        print(render_all_benches(results))
+        if args.json:
+            summary = {key: value for key, value in results.items()
+                       if key != "planes"}
+            print(json.dumps(summary, indent=2))
+        else:
+            print(f"=== all bench planes "
+                  f"(wall {time.time() - started:.1f} s) ===")
+            print(render_all_benches(results))
         return 0 if results["fields_ok"] else 1
     experiments = registry()
     if args.experiment == "list":
@@ -321,6 +333,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("dataplane")
         print("dedup")
         print("pipeline")
+        print("cluster")
         print("all")
         return 0
     runner = experiments.get(args.experiment)
@@ -546,7 +559,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment id (e1..e5, a1..a14), "
                             "'engine' (simulator hot-path perf), "
                             "'dataplane' (codec hot-loop perf), "
-                            "'dedup' (index-plane perf), or 'list'")
+                            "'dedup' (index-plane perf), "
+                            "'pipeline' (batched functional plane), "
+                            "'cluster' (sharded reduction), 'all', "
+                            "or 'list'")
     bench.add_argument("--profile", action="store_true",
                        help="wrap 'engine'/'dataplane'/'dedup' runs "
                             "in cProfile")
@@ -557,6 +573,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--trace", metavar="PATH", default=None,
                        help="engine/dataplane/dedup: also write a "
                             "Chrome trace of one traced pipeline run")
+    bench.add_argument("--json", action="store_true",
+                       help="perf planes: print the machine-readable "
+                            "current-vs-baseline summary instead of "
+                            "the table")
+    bench.add_argument("--nodes", type=int, default=None,
+                       help="cluster: shard count for the ingest "
+                            "scenario (default 4)")
+    bench.add_argument("--executor", choices=("serial", "mp"),
+                       default=None,
+                       help="cluster: executor for the ingest "
+                            "scenario (default serial)")
     bench.set_defaults(func=cmd_bench)
 
     codec = sub.add_parser("codec",

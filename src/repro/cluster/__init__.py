@@ -1,0 +1,51 @@
+"""Simulated cluster sharding of the inline reduction engine.
+
+The paper parallelizes reduction *within* one node; this package adds
+the scale axis it could not model — N reduction nodes partitioning one
+fingerprint space by bin prefix (:mod:`repro.cluster.shard_map`),
+window routing with numpy masks (:mod:`repro.cluster.router`), modeled
+cross-node traffic (:mod:`repro.cluster.netlink`), per-shard batteries
+(:mod:`repro.cluster.shardwork`), serial and multiprocessing executors
+(:mod:`repro.cluster.executor`), and a deterministic merged report
+(:mod:`repro.cluster.engine`).  See DESIGN.md §14.
+
+Cross-shard access discipline: outside this package, nothing may reach
+a shard's private index or worker state directly — all cross-shard
+traffic goes through the router and the NetLink (REP801 patrols this).
+"""
+
+from repro.cluster.engine import (
+    ClusterConfig,
+    ClusterEngine,
+    ClusterResult,
+)
+from repro.cluster.executor import EXECUTORS, MpExecutor, SerialExecutor
+from repro.cluster.netlink import NetLink, NetLinkSpec, NetReport
+from repro.cluster.router import ClusterRouter, RoutedWindow
+from repro.cluster.shard_map import (
+    ASSIGNMENTS,
+    BinMove,
+    RebalanceResult,
+    ShardMap,
+)
+from repro.cluster.shardwork import ShardSpec, ShardWorker
+
+__all__ = [
+    "ASSIGNMENTS",
+    "BinMove",
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterResult",
+    "ClusterRouter",
+    "EXECUTORS",
+    "MpExecutor",
+    "NetLink",
+    "NetLinkSpec",
+    "NetReport",
+    "RebalanceResult",
+    "RoutedWindow",
+    "SerialExecutor",
+    "ShardMap",
+    "ShardSpec",
+    "ShardWorker",
+]

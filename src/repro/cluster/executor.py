@@ -1,0 +1,126 @@
+"""Shard executors: in-process serial, and a spawner/worker mp split.
+
+Both executors expose the same three-call protocol the cluster engine
+drives — ``submit(routed_window)``, ``finish() -> [shard reports]``,
+``close()`` — and both return the per-shard reports in fixed shard-id
+order, which is what makes the merged report byte-identical across
+executor choices (the merge folds shard 0, 1, …, N-1 regardless of
+which shard finished first).
+
+The multiprocessing executor follows the Bodo-style spawner/worker
+split: the parent owns the stream, the router and the NetLink; each
+child owns exactly one :class:`~repro.cluster.shardwork.ShardWorker`
+and receives its sub-windows over a private pipe.  Windows are pure
+routed data and reports are plain dicts, so no shard state ever
+crosses a process boundary except through those two messages.  The
+``fork`` start method is preferred (no re-import cost); ``spawn`` is
+the fallback — the worker entrypoint is a module-level function so
+both work.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Optional
+
+from repro.cluster.router import RoutedWindow
+from repro.cluster.shardwork import ShardSpec, ShardWorker
+from repro.errors import ConfigError
+
+__all__ = ["EXECUTORS", "MpExecutor", "SerialExecutor", "make_executor"]
+
+#: Registered executor names (CLI / config surface).
+EXECUTORS = ("serial", "mp")
+
+#: Seconds to wait for a child to exit after its final report.
+_JOIN_TIMEOUT_S = 30.0
+
+
+class SerialExecutor:
+    """All shard workers in the parent process, run inline."""
+
+    name = "serial"
+
+    def __init__(self, nodes: int, spec: ShardSpec = ShardSpec()):
+        self._workers = [ShardWorker(shard, spec)
+                         for shard in range(nodes)]
+
+    def submit(self, window: RoutedWindow) -> None:
+        self._workers[window.shard].process(window)
+
+    def finish(self) -> list[dict]:
+        return [worker.finish() for worker in self._workers]
+
+    def close(self) -> None:
+        pass
+
+
+def _shard_worker_main(conn, shard_id: int, spec: ShardSpec) -> None:
+    """Child entrypoint: drain routed windows, answer with the report."""
+    worker = ShardWorker(shard_id, spec)
+    try:
+        while True:
+            window = conn.recv()
+            if window is None:
+                conn.send(worker.finish())
+                return
+            worker.process(window)
+    finally:
+        conn.close()
+
+
+class MpExecutor:
+    """One child process per shard, fed over private pipes."""
+
+    name = "mp"
+
+    def __init__(self, nodes: int, spec: ShardSpec = ShardSpec(),
+                 start_method: Optional[str] = None):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        context = multiprocessing.get_context(start_method)
+        self._connections = []
+        self._processes = []
+        for shard in range(nodes):
+            parent_end, child_end = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(child_end, shard, spec),
+                name=f"repro-shard-{shard}",
+                daemon=True)
+            process.start()
+            child_end.close()
+            self._connections.append(parent_end)
+            self._processes.append(process)
+
+    def submit(self, window: RoutedWindow) -> None:
+        self._connections[window.shard].send(window)
+
+    def finish(self) -> list[dict]:
+        """Sentinel every pipe, then collect reports in shard order."""
+        for connection in self._connections:
+            connection.send(None)
+        reports = [connection.recv() for connection in self._connections]
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT_S)
+        return reports
+
+    def close(self) -> None:
+        for connection in self._connections:
+            connection.close()
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_S)
+
+
+def make_executor(name: str, nodes: int,
+                  spec: ShardSpec = ShardSpec()):
+    """Executor instance for a registered executor name."""
+    if name == "serial":
+        return SerialExecutor(nodes, spec)
+    if name == "mp":
+        return MpExecutor(nodes, spec)
+    raise ConfigError(
+        f"unknown executor {name!r}; pick one of {EXECUTORS}")

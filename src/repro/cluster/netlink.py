@@ -1,0 +1,132 @@
+"""Modeled cluster interconnect, charged through the sim engine.
+
+HPDedup's lesson applies at cluster scale: a remote index is not free
+to reach, so cross-node traffic must be charged explicitly rather than
+hidden in per-chunk cycle costs.  The :class:`NetLink` owns a private
+:class:`~repro.sim.engine.Environment` with one
+:class:`~repro.sim.resources.Resource` of ``links`` lanes; every
+dispatch/flush/rebalance transfer becomes a sim process that occupies
+a lane for ``latency + (bytes + headers) / bandwidth`` seconds, so the
+utilization monitor and the tracer (stage names from
+:mod:`repro.obs.stages`) see real queueing, not a closed-form sum.
+
+All charges are issued by the parent (ingest-side) engine in
+deterministic window/shard order, which keeps the resulting
+:class:`NetReport` byte-identical across executor choices — the shard
+workers never touch the link (DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+from repro.errors import ConfigError
+from repro.obs.stages import (
+    STAGE_NET_DISPATCH,
+    STAGE_NET_FLUSH,
+    STAGE_NET_REBALANCE,
+    TRACK_NET,
+)
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sim.engine import Environment
+from repro.sim.resources import Resource
+
+__all__ = ["NET_KINDS", "NetLink", "NetLinkSpec", "NetReport"]
+
+#: The traffic classes the link accounts separately.
+NET_KINDS = (STAGE_NET_DISPATCH, STAGE_NET_FLUSH, STAGE_NET_REBALANCE)
+
+
+class NetLinkSpec(NamedTuple):
+    """Interconnect cost model (defaults: one 10 GbE lane)."""
+
+    bandwidth_bytes_per_s: float = 1.25e9
+    latency_s: float = 20e-6
+    links: int = 1
+    #: Per-message framing overhead added to the byte charge.
+    header_bytes: int = 64
+
+
+class NetReport(NamedTuple):
+    """Deterministic link accounting for the merged report."""
+
+    bytes_by_kind: dict
+    messages_by_kind: dict
+    seconds_by_kind: dict
+    busy_s: float
+    utilization: float
+    makespan_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "bytes": dict(self.bytes_by_kind),
+            "messages": dict(self.messages_by_kind),
+            "seconds": dict(self.seconds_by_kind),
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "makespan_s": self.makespan_s,
+        }
+
+
+class NetLink:
+    """The modeled interconnect between the ingest node and the shards."""
+
+    __slots__ = ("spec", "env", "link", "_tracer", "_bytes", "_messages",
+                 "_seconds")
+
+    def __init__(self, spec: Optional[NetLinkSpec] = None,
+                 tracer: Tracer = NULL_TRACER):
+        self.spec = spec if spec is not None else NetLinkSpec()
+        if self.spec.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        if self.spec.latency_s < 0 or self.spec.header_bytes < 0:
+            raise ConfigError("link latency/header must be non-negative")
+        if self.spec.links < 1:
+            raise ConfigError("need at least one link lane")
+        self.env = Environment()
+        self.link = Resource(self.env, capacity=self.spec.links,
+                             name="netlink")
+        self._tracer = tracer
+        tracer.bind(self.env)
+        self._bytes = {kind: 0 for kind in NET_KINDS}
+        self._messages = {kind: 0 for kind in NET_KINDS}
+        self._seconds = {kind: 0.0 for kind in NET_KINDS}
+
+    def cost_s(self, nbytes: int, messages: int = 1) -> float:
+        """Modeled transfer time for ``nbytes`` over ``messages`` frames."""
+        spec = self.spec
+        wire_bytes = nbytes + messages * spec.header_bytes
+        return messages * spec.latency_s \
+            + wire_bytes / spec.bandwidth_bytes_per_s
+
+    def charge(self, kind: str, nbytes: int, messages: int = 1) -> None:
+        """Queue one transfer of ``nbytes`` under traffic class ``kind``."""
+        if kind not in self._bytes:
+            raise ConfigError(
+                f"unknown net traffic kind {kind!r}; one of {NET_KINDS}")
+        if nbytes < 0 or messages < 1:
+            raise ConfigError("invalid net charge")
+        self._bytes[kind] += int(nbytes)
+        self._messages[kind] += int(messages)
+        cost = self.cost_s(nbytes, messages)
+        self._seconds[kind] += cost
+        self.env.process(self._transfer(kind, cost))
+
+    def _transfer(self, kind: str, cost: float):
+        with self.link.request() as request:
+            yield request
+            with self._tracer.span(kind, resource=TRACK_NET):
+                yield self.env.timeout(cost)
+
+    def finish(self) -> NetReport:
+        """Drain queued transfers and report link occupancy."""
+        self.env.run()
+        monitor = self.link.monitor
+        return NetReport(
+            bytes_by_kind=dict(self._bytes),
+            messages_by_kind=dict(self._messages),
+            seconds_by_kind=dict(self._seconds),
+            busy_s=monitor.busy_time(),
+            utilization=monitor.utilization(),
+            makespan_s=self.env.now,
+        )

@@ -61,11 +61,18 @@ STAGE_SSD_WRITE = "ssd_write"
 STAGE_SSD_READ = "ssd_read"
 STAGE_SSD_TRIM = "ssd_trim"
 
+#: Cluster interconnect transfers (modeled NetLink occupancy; the
+#: repro.cluster plane charges cross-node traffic under these names).
+STAGE_NET_DISPATCH = "net_dispatch"
+STAGE_NET_FLUSH = "net_flush"
+STAGE_NET_REBALANCE = "net_rebalance"
+
 #: Resource/track names used by the Chrome exporter.
 TRACK_WINDOW = "window"
 TRACK_GPU_QUEUE = "gpu-queue"
 TRACK_SSD = "ssd"
 TRACK_DESTAGE = "destage"
+TRACK_NET = "netlink"
 
 # -- report counter keys (DedupEngine.counters / PipelineReport.counters) ----
 

@@ -1,0 +1,17 @@
+# repro-lint: module=repro.bench.fixture
+"""Fixture: REP801 — shard-private cluster state outside repro.cluster."""
+from repro.cluster import ClusterEngine, SerialExecutor
+from repro.cluster.executor import _shard_worker_main
+
+
+def peek_worker_state(executor: SerialExecutor) -> int:
+    worker = executor._workers[0]  # expect REP801 on this line (8)
+    return worker._engine.counters["uniques"]  # expect REP801 (9)
+
+
+def spawn_raw_worker(conn, spec) -> None:
+    _shard_worker_main(conn, 0, spec)  # expect REP801 on this line (13)
+
+
+def merged_report_is_fine(engine: ClusterEngine) -> dict:
+    return engine.run().merged  # mediated access: no finding

@@ -54,6 +54,8 @@ EXPECTED = {
                            ("REP703", 20), ("REP703", 24),
                            ("REP703", 28)],
     "rep704_module_state.py": [("REP704", 10), ("REP704", 11)],
+    "rep801_cluster_access.py": [("REP801", 8), ("REP801", 9),
+                                 ("REP801", 13)],
 }
 
 
