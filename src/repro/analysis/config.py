@@ -35,7 +35,7 @@ class LintConfig:
     determinism_scope: tuple[str, ...] = (
         "repro.sim", "repro.core", "repro.dedup", "repro.compression",
         "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
-        "repro.obs", "repro.cluster",
+        "repro.obs", "repro.cluster", "repro.tenancy",
     )
     #: Modules whose iteration order decides *dispatch* order.  Here even
     #: dict-view iteration is flagged, because feeding a view into a
@@ -116,7 +116,7 @@ class LintConfig:
     now_arithmetic_scope: tuple[str, ...] = (
         "repro.core", "repro.cpu", "repro.gpu", "repro.storage",
         "repro.dedup", "repro.compression", "repro.workload",
-        "repro.bench", "repro.cluster",
+        "repro.bench", "repro.cluster", "repro.tenancy",
     )
 
     # -- data-plane hot loops (REP502) -------------------------------------
@@ -203,6 +203,7 @@ class LintConfig:
     rng_flow_scope: tuple[str, ...] = (
         "repro.sim", "repro.core", "repro.dedup", "repro.compression",
         "repro.cpu", "repro.gpu", "repro.storage", "repro.workload",
+        "repro.tenancy",
     )
     #: Parameter-name fragments that mark a *tracked* RNG hand-off;
     #: passing an RNG across modules into any other parameter is an
@@ -214,7 +215,7 @@ class LintConfig:
         "repro.core", "repro.compression", "repro.dedup",
         "repro.workload", "repro.sim", "repro.cpu", "repro.gpu",
         "repro.storage", "repro.chunkbatch", "repro.types",
-        "repro.cluster",
+        "repro.cluster", "repro.tenancy",
     )
     #: The audited module-level singletons (dotted names), each a
     #: bounded content-keyed cache documented in DESIGN.md §13.
@@ -235,6 +236,18 @@ class LintConfig:
     cluster_private_attrs: tuple[str, ...] = (
         "_workers", "_connections", "_processes", "_engine",
         "_compressor",
+    )
+
+    # -- tenant isolation (REP901) -----------------------------------------
+    #: The package whose tenant-private admission state is off limits
+    #: elsewhere.
+    tenancy_private_scope: tuple[str, ...] = ("repro.tenancy",)
+    #: Attribute names that constitute tenant-private state: estimator
+    #: tables and sketch internals, cache partitions and quotas, the
+    #: compaction canonical map, and the mix-level scheduling RNG.
+    tenancy_private_attrs: tuple[str, ...] = (
+        "_estimators", "_admissions", "_sched_rng", "_partitions",
+        "_quotas", "_ring", "_counts", "_recent", "_canonical",
     )
 
     def in_scope(self, module: str | None, prefixes: tuple[str, ...]) -> bool:

@@ -28,6 +28,7 @@ from repro.analysis.rules.simproto import (
     YieldNonEventChecker,
 )
 from repro.analysis.rules.slots import SlotsCoverageChecker
+from repro.analysis.rules.tenancy import TenantIsolationChecker
 from repro.analysis.visitors import Checker
 from repro.errors import LintError
 
@@ -52,6 +53,7 @@ CHECKERS: tuple[type[Checker], ...] = (
     RngFlowChecker,            # REP703
     ModuleStateChecker,        # REP704
     ClusterIsolationChecker,   # REP801
+    TenantIsolationChecker,    # REP901
 )
 
 

@@ -1,10 +1,10 @@
 """One command over every bench plane: ``repro bench all``.
 
-Runs the five perf planes back to back — engine hot path, data-plane
+Runs the six perf planes back to back — engine hot path, data-plane
 functional loops, dedup index plane, batched functional pipeline,
-cluster sharding — and folds their scenario timings into a single
-baseline-vs-current summary table, so "did anything regress?" is one
-invocation instead of five.
+cluster sharding, multi-tenant traffic — and folds their scenario
+timings into a single baseline-vs-current summary table, so "did
+anything regress?" is one invocation instead of six.
 
 Each plane keeps its own pinned seed baselines and identity checks;
 this driver only aggregates.  It deliberately passes ``out_path=None``
@@ -20,7 +20,8 @@ from typing import Any, Optional
 from repro.bench.common import scenario_rows
 
 #: Plane order in the summary (also the run order: fast first).
-PLANES = ("engine", "dataplane", "dedup", "pipeline", "cluster")
+PLANES = ("engine", "dataplane", "dedup", "pipeline", "cluster",
+          "tenancy")
 
 
 def _plane_aggregate(plane: str, results: dict,
@@ -56,6 +57,7 @@ def run_all_benches(quick: bool = False) -> dict:
     from repro.bench.dedup import run_dedup_bench
     from repro.bench.perf import run_engine_bench
     from repro.bench.pipeline import run_pipeline_bench
+    from repro.bench.tenancy import run_tenancy_bench
 
     plane_results = {
         "engine": run_engine_bench(out_path=None),
@@ -63,6 +65,7 @@ def run_all_benches(quick: bool = False) -> dict:
         "dedup": run_dedup_bench(quick=quick, out_path=None),
         "pipeline": run_pipeline_bench(quick=quick, out_path=None),
         "cluster": run_cluster_bench(quick=quick, out_path=None),
+        "tenancy": run_tenancy_bench(quick=quick, out_path=None),
     }
     rows: list[dict[str, Any]] = []
     aggregates: dict[str, Optional[float]] = {}
@@ -81,6 +84,27 @@ def run_all_benches(quick: bool = False) -> dict:
         "identity": identity,
         "fields_ok": all(identity.values()),
         "planes": plane_results,
+    }
+
+
+def json_all_summary(results: dict) -> dict:
+    """The ``repro bench all --json`` payload: one document holding
+    every plane's machine-readable summary (the same shape the
+    per-plane ``--json`` outputs emit) under ``planes``, next to the
+    cross-plane rows, aggregates and identity verdicts.  Previously
+    ``all --json`` dropped the per-plane summaries entirely, so CI
+    could not assert on a single plane's rows from the combined run."""
+    from repro.bench.common import json_summary
+
+    return {
+        "bench": results["bench"],
+        "quick": results["quick"],
+        "rows": results["rows"],
+        "aggregates": results["aggregates"],
+        "identity": results["identity"],
+        "fields_ok": results["fields_ok"],
+        "planes": {plane: json_summary(plane, results["planes"][plane])
+                   for plane in PLANES},
     }
 
 

@@ -1,0 +1,400 @@
+"""Multi-tenant traffic-plane benchmark (``repro bench tenancy``).
+
+The sixth bench plane watches the tenancy subsystem (DESIGN.md §15):
+locality estimation on the admission hot path, interleaved mix
+emission, and the policy experiment the plane exists for — prioritized
+residency vs a shared LRU under a mixed-locality tenant population.
+Same two promises as every other plane:
+
+1. **Identity** — a one-tenant mix under the default policy reproduces
+   the pinned single-stream golden report digests
+   (:data:`~repro.bench.dedup.GOLDEN_REPORT_SHA256`) in all four
+   integration modes; the O(1) sketch estimator is float-identical to
+   the retained naive per-chunk scan; and on the committed
+   mixed-locality scenario prioritized admission beats the shared LRU
+   on aggregate inline hit rate while inline + compaction recover
+   >= 95% of the offline-oracle dedup ratio.  Always checked;
+   timing-free.
+2. **Speed** — the ring-sketch estimator beats the naive scan by the
+   pinned geomean (>= 2x; the scan's cost grows with the window, the
+   sketch's does not).  Wall-clock thresholds sit behind
+   ``REPRO_PERF_TIMING=1`` in ``benchmarks/test_p9_tenancy.py``;
+   timings are always measured and written to ``BENCH_tenancy.json``.
+
+Scenarios (``--quick`` trims corpus sizes and repeats):
+
+* **estimator_w64 / estimator_w1024** — sketch ``observe`` throughput
+  at a small and a large window (vs the pinned naive-scan rates; the
+  w1024 point is where O(window) per observation really hurts);
+* **mix_emit** — interleaved mix emission, windowed batches vs the
+  per-chunk path (informational rate, no pinned baseline);
+* **admission** — one full prioritized run on the committed scenario:
+  chunks/s, hit rates, recovery;
+* **contention_curve** — aggregate inline hit rate vs cache capacity
+  for both policies (the A17 experiment's data);
+* **degenerate_identity / estimator_equivalence / admission_gain** —
+  the identity checks above.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+import time
+from typing import Any, Optional
+
+from repro.bench.common import (
+    attach_profile,
+    best_of,
+    fold_fields_ok,
+    rate_entry,
+    render_identity_lines,
+    render_rate_lines,
+    render_tail,
+    set_aggregate,
+    start_profile,
+    write_results,
+)
+from repro.bench.dedup import GOLDEN_REPORT_CHUNKS, GOLDEN_REPORT_SHA256
+from repro.core import IntegrationMode, PipelineConfig
+from repro.tenancy import (
+    LocalityEstimator,
+    NaiveLocalityEstimator,
+    TenantMix,
+    TenantMixStream,
+    TenantSpec,
+)
+from repro.tenancy.runner import run_tenant_mix
+from repro.workload.vdbench import VdbenchStream
+
+#: Naive per-chunk-scan wall-clock baselines (reference container,
+#: best-of-5): ``NaiveLocalityEstimator.observe`` throughput at each
+#: window — the O(window) linear scan the ring sketch replaces.
+BASELINE_RATES = {
+    "estimator_w64": 870_650.0,
+    "estimator_w1024": 65_235.0,
+}
+
+#: The plane's acceptance bar on the reference machine (geomean of the
+#: two estimator scenarios).
+REQUIRED_TENANCY_SPEEDUP = 2.0
+
+#: The committed mixed-locality scenario: a hot tenant whose working
+#: set fits the inline cache against a cold scan that floods it.  The
+#: admission-gain identity check and the A16/A17 experiments all read
+#: from this exact mix.
+SCENARIO_MIX = TenantMix(tenants=(
+    TenantSpec(name="hot", seed=11, dedup_ratio=3.0, locality=0.95,
+               working_set=64),
+    TenantSpec(name="cold", seed=22, dedup_ratio=1.05, locality=0.0,
+               working_set=1 << 16),
+), seed=7)
+SCENARIO_CACHE = 96
+SCENARIO_CHUNKS = 8192
+
+#: Inline-hit-rate edge prioritized must hold over the shared LRU on
+#: the committed scenario, and the floor on oracle-dedup recovery.
+REQUIRED_HIT_GAIN = 1.2
+REQUIRED_RECOVERY = 0.95
+
+
+def _estimator_corpus(n: int, seed: int = 1234) -> list[bytes]:
+    """Deterministic fingerprint stream with mid-range locality."""
+    stream = VdbenchStream(dedup_ratio=3.0, seed=seed, locality=0.7,
+                           working_set=128)
+    return [chunk.fingerprint for chunk in stream.chunks(n)]
+
+
+def bench_estimator(window: int, repeats: int = 5,
+                    n: int = 50_000) -> dict:
+    """Ring-sketch ``observe`` throughput vs the pinned naive rate."""
+    corpus = _estimator_corpus(n)
+
+    def run() -> None:
+        estimator = LocalityEstimator(window)
+        observe = estimator.observe
+        for fingerprint in corpus:
+            observe(fingerprint)
+
+    seconds = best_of(run, repeats)
+    return rate_entry(f"estimator_w{window}", n, seconds,
+                      "observations_per_s", BASELINE_RATES)
+
+
+def measure_per_chunk_baselines(repeats: int = 5,
+                                n: int = 50_000) -> dict[str, float]:
+    """Measure the naive linear-scan estimator (what the pinned
+    ``BASELINE_RATES`` were captured from on the reference machine)."""
+    corpus = _estimator_corpus(n)
+    rates = {}
+    for window in (64, 1024):
+        def run() -> None:
+            estimator = NaiveLocalityEstimator(window)
+            observe = estimator.observe
+            for fingerprint in corpus:
+                observe(fingerprint)
+
+        rates[f"estimator_w{window}"] = n / best_of(run, repeats)
+    return rates
+
+
+def bench_mix_emit(repeats: int = 3, n: int = 20_000) -> dict:
+    """Interleaved emission: windowed batches vs the per-chunk path."""
+    def batched() -> None:
+        stream = TenantMixStream(SCENARIO_MIX)
+        for _ in stream.chunks_batched(n, window=64):
+            pass
+
+    def per_chunk() -> None:
+        stream = TenantMixStream(SCENARIO_MIX)
+        for _ in stream.chunks(n):
+            pass
+
+    batched_s = best_of(batched, repeats)
+    per_chunk_s = best_of(per_chunk, repeats)
+    return {
+        "scenario": "mix_emit",
+        "chunks": n,
+        "seconds": batched_s,
+        "chunks_per_s": n / batched_s,
+        "per_chunk_chunks_per_s": n / per_chunk_s,
+        "batched_vs_per_chunk": per_chunk_s / batched_s,
+    }
+
+
+def bench_admission(quick: bool = False) -> dict:
+    """One full prioritized run on the committed scenario."""
+    chunks = 2048 if quick else SCENARIO_CHUNKS
+    config = PipelineConfig(tenancy_policy="prioritized",
+                            tenancy_cache_entries=SCENARIO_CACHE)
+    started = time.perf_counter()
+    report = run_tenant_mix(SCENARIO_MIX, IntegrationMode.CPU_ONLY,
+                            chunks, base_config=config)
+    seconds = time.perf_counter() - started
+    return {
+        "scenario": "admission",
+        "chunks": chunks,
+        "seconds": seconds,
+        "chunks_per_s": chunks / seconds,
+        "inline_hit_rate": report.inline_hit_rate,
+        "inline_dedup_ratio": report.inline_dedup_ratio,
+        "effective_dedup_ratio": report.effective_dedup_ratio,
+        "oracle_dedup_ratio": report.oracle_dedup_ratio,
+        "recovery_fraction": report.recovery_fraction,
+        "compaction_epochs": report.compaction["epochs"],
+        "tenants": {t.name: {"inline_hit_rate": t.inline_hit_rate,
+                             "skips": t.skips,
+                             "p99_s": t.latency["p99"]}
+                    for t in report.tenants},
+    }
+
+
+def bench_contention_curve(quick: bool = False) -> dict:
+    """Aggregate inline hit rate vs cache capacity, both policies.
+
+    The cache-contention experiment (A17): as the inline cache shrinks
+    the shared LRU degrades toward zero while prioritized holds the
+    hot tenant's hit rate near its working-set ceiling.
+    """
+    chunks = 2048 if quick else SCENARIO_CHUNKS
+    capacities = (64, 96, 128) if quick else (64, 96, 128, 256)
+    curve: dict[str, dict[str, float]] = {}
+    for capacity in capacities:
+        point = {}
+        for policy in ("shared_lru", "prioritized"):
+            config = PipelineConfig(tenancy_policy=policy,
+                                    tenancy_cache_entries=capacity)
+            report = run_tenant_mix(
+                SCENARIO_MIX, IntegrationMode.CPU_ONLY, chunks,
+                base_config=config)
+            point[policy] = report.inline_hit_rate
+        point["gain"] = (point["prioritized"] / point["shared_lru"]
+                        if point["shared_lru"] > 0 else float("inf"))
+        curve[str(capacity)] = point
+    return {"scenario": "contention_curve", "chunks": chunks,
+            "capacities": curve}
+
+
+# -- identity ----------------------------------------------------------------
+
+def check_degenerate_identity() -> dict:
+    """One-tenant mix, default policy, vs the pinned golden digests.
+
+    Always full-size (the digests are corpus-exact at
+    ``GOLDEN_REPORT_CHUNKS``): the tenancy plane must not perturb a
+    single-stream run by one byte in any integration mode.
+    """
+    mix = TenantMix(tenants=(TenantSpec(name="solo", seed=1234),),
+                    seed=99)
+    mismatches: dict[str, Any] = {}
+    for mode in IntegrationMode.all_modes():
+        report = run_tenant_mix(mix, mode, GOLDEN_REPORT_CHUNKS)
+        payload = json.dumps(dataclasses.asdict(report.pipeline),
+                             sort_keys=True)
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        golden = GOLDEN_REPORT_SHA256[mode.value]
+        if digest != golden:
+            mismatches[mode.value] = {"observed": digest,
+                                      "golden": golden}
+    return {"modes": [m.value for m in IntegrationMode.all_modes()],
+            "fields_ok": not mismatches,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+def check_estimator_equivalence(n: int = 20_000) -> dict:
+    """Sketch vs naive scan: float-identical estimates, same hits."""
+    rng = random.Random(4321)
+    mismatches = 0
+    for window in (1, 7, 64, 256):
+        fast = LocalityEstimator(window)
+        naive = NaiveLocalityEstimator(window)
+        for _ in range(n // 4):
+            fingerprint = rng.randrange(512).to_bytes(4, "big")
+            fast.observe(fingerprint)
+            naive.observe(fingerprint)
+            if fast.estimate != naive.estimate \
+                    or fast.hits != naive.hits:
+                mismatches += 1
+    return {"observations": n, "fields_ok": mismatches == 0,
+            **({"mismatches": mismatches} if mismatches else {})}
+
+
+def check_admission_gain(quick: bool = False) -> dict:
+    """Prioritized beats the shared LRU; recovery meets the floor."""
+    chunks = 2048 if quick else SCENARIO_CHUNKS
+    reports = {}
+    for policy in ("shared_lru", "prioritized"):
+        config = PipelineConfig(tenancy_policy=policy,
+                                tenancy_cache_entries=SCENARIO_CACHE)
+        reports[policy] = run_tenant_mix(
+            SCENARIO_MIX, IntegrationMode.CPU_ONLY, chunks,
+            base_config=config)
+    shared = reports["shared_lru"].inline_hit_rate
+    prioritized = reports["prioritized"].inline_hit_rate
+    gain = prioritized / shared if shared > 0 else float("inf")
+    recovery = reports["prioritized"].recovery_fraction
+    ok = gain >= REQUIRED_HIT_GAIN and recovery >= REQUIRED_RECOVERY
+    return {
+        "chunks": chunks,
+        "shared_lru_hit_rate": shared,
+        "prioritized_hit_rate": prioritized,
+        "hit_gain": gain,
+        "required_hit_gain": REQUIRED_HIT_GAIN,
+        "recovery_fraction": recovery,
+        "required_recovery": REQUIRED_RECOVERY,
+        "fields_ok": ok,
+    }
+
+
+# -- trace -------------------------------------------------------------------
+
+def write_tenancy_trace(out_path: str, quick: bool = False) -> dict:
+    """One traced prioritized run -> validated Chrome trace.
+
+    The chunk envelopes carry tenant tags, so the critical-path report
+    grows its per-tenant SLO section — recorded here alongside the
+    usual coverage number.
+    """
+    from repro.obs import (
+        CriticalPathReport,
+        SimTracer,
+        chrome_trace,
+        validate_chrome_trace,
+    )
+
+    chunks = 1024 if quick else 4096
+    tracer = SimTracer()
+    config = PipelineConfig(tenancy_policy="prioritized",
+                            tenancy_cache_entries=SCENARIO_CACHE)
+    run_tenant_mix(SCENARIO_MIX, IntegrationMode.CPU_ONLY, chunks,
+                   base_config=config, tracer=tracer)
+    payload = chrome_trace(tracer.spans)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle)
+    critical = CriticalPathReport.from_spans(tracer.spans)
+    return {
+        "mode": "tenancy",
+        "chunks": chunks,
+        "out_path": out_path,
+        "n_spans": len(tracer.spans),
+        "n_events": len(payload["traceEvents"]),
+        "coverage": critical.coverage,
+        "mean_latency_s": critical.mean_latency_s,
+        "tenant_slos": {str(t.tenant): t.p99_s
+                        for t in critical.tenants},
+        "problems": validate_chrome_trace(payload),
+    }
+
+
+# -- driver ------------------------------------------------------------------
+
+def run_tenancy_bench(quick: bool = False, profile: bool = False,
+                      out_path: Optional[str] = "BENCH_tenancy.json",
+                      trace_path: Optional[str] = None) -> dict:
+    """Run all scenarios; write ``BENCH_tenancy.json``; return the dict.
+
+    ``quick`` trims corpus sizes and repeats — the degenerate-identity
+    digests still run full-size (they are corpus-exact), so CI keeps
+    complete equivalence coverage.
+    """
+    profiler = start_profile(profile)
+    repeats = 2 if quick else 5
+    n = 20_000 if quick else 50_000
+    results: dict[str, Any] = {
+        "bench": "tenancy-plane",
+        "quick": quick,
+        "estimator_w64": bench_estimator(64, repeats=repeats, n=n),
+        "estimator_w1024": bench_estimator(1024, repeats=repeats, n=n),
+        "mix_emit": bench_mix_emit(repeats=2 if quick else 3,
+                                   n=10_000 if quick else 20_000),
+        "admission": bench_admission(quick=quick),
+        "contention_curve": bench_contention_curve(quick=quick),
+        "degenerate_identity": check_degenerate_identity(),
+        "estimator_equivalence": check_estimator_equivalence(),
+        "admission_gain": check_admission_gain(quick=quick),
+    }
+    fold_fields_ok(results, ("degenerate_identity",
+                             "estimator_equivalence",
+                             "admission_gain"))
+    set_aggregate(results, BASELINE_RATES, REQUIRED_TENANCY_SPEEDUP)
+    attach_profile(profiler, results)
+    if trace_path:
+        results["trace"] = write_tenancy_trace(trace_path, quick=quick)
+    write_results(results, out_path)
+    return results
+
+
+def render_tenancy_bench(results: dict) -> str:
+    """Human-readable summary of :func:`run_tenancy_bench` output."""
+    lines = []
+    units = {"estimator_w64": "observations_per_s",
+             "estimator_w1024": "observations_per_s"}
+    render_rate_lines(results, units, lines)
+    emit = results["mix_emit"]
+    lines.append(f"{'mix_emit':<18} {emit['chunks_per_s']:>14,.0f} "
+                 f"chunks/s batched "
+                 f"({emit['batched_vs_per_chunk']:.2f}x per-chunk)")
+    admission = results["admission"]
+    lines.append(f"{'admission':<18} hit rate "
+                 f"{admission['inline_hit_rate']:.3f}, dedup inline "
+                 f"{admission['inline_dedup_ratio']:.3f} -> effective "
+                 f"{admission['effective_dedup_ratio']:.3f} "
+                 f"(oracle {admission['oracle_dedup_ratio']:.3f}, "
+                 f"recovery {admission['recovery_fraction']:.1%})")
+    curve = results["contention_curve"]["capacities"]
+    points = ", ".join(
+        f"{capacity}e {entry['shared_lru']:.3f}->"
+        f"{entry['prioritized']:.3f}"
+        for capacity, entry in curve.items())
+    lines.append(f"{'contention_curve':<18} shared->prioritized "
+                 f"hit rate: {points}")
+    gain = results["admission_gain"]
+    lines.append(f"{'admission_gain':<18} "
+                 f"{gain['hit_gain']:>13.2f}x hit rate vs shared LRU "
+                 f"(recovery {gain['recovery_fraction']:.1%})")
+    render_identity_lines(
+        results, ("degenerate_identity", "estimator_equivalence",
+                  "admission_gain"), lines)
+    return render_tail(results, lines)

@@ -131,6 +131,7 @@ class ChunkBatch:
             chunk.comp_ratio = comp_ratio
             chunk.is_duplicate = None
             chunk.compressed_size = None
+            chunk.tenant = None
             append(chunk)
         return out
 

@@ -75,6 +75,81 @@ def _platform_from(args: argparse.Namespace) -> dict:
     return {"cpu_spec": cpu_spec, "gpu_spec": GPU_PRESETS[args.gpu]}
 
 
+def _dump_trace(tracer, out_path: str) -> int:
+    """Write a run's Chrome trace and report schema problems."""
+    from repro.obs import chrome_trace, validate_chrome_trace
+
+    payload = chrome_trace(tracer.spans)
+    problems = validate_chrome_trace(payload)
+    with open(out_path, "w") as handle:
+        json.dump(payload, handle)
+    print(f"\ntrace: {len(payload['traceEvents'])} events -> "
+          f"{out_path}")
+    if problems:
+        for problem in problems:
+            print(f"trace schema problem: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_tenants(args: argparse.Namespace, mode: IntegrationMode,
+                 platform: dict, tracer) -> int:
+    """``repro run --tenants``: one multi-tenant timed run."""
+    from repro import PipelineConfig
+    from repro.errors import WorkloadError
+    from repro.tenancy import TenantMix
+    from repro.tenancy.runner import run_tenant_mix
+
+    try:
+        with open(args.tenants) as handle:
+            mix = TenantMix.from_json(handle.read())
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except WorkloadError as exc:
+        print(f"error: {args.tenants}: {exc}", file=sys.stderr)
+        return 2
+    config = PipelineConfig(tenancy_policy=args.tenancy_policy,
+                            tenancy_cache_entries=args.tenancy_cache,
+                            verify_memos=args.verify_memos)
+    started = time.time()
+    report = run_tenant_mix(mix, mode, args.chunks, base_config=config,
+                            tracer=tracer, payload=args.payload,
+                            **platform)
+    pipeline = report.pipeline
+    table = Table(f"tenant mix: {len(mix.tenants)} tenant(s), "
+                  f"{mode.value}, {args.chunks} chunks, "
+                  f"policy {report.policy}", ["metric", "value"])
+    table.add_row("throughput", f"{pipeline.iops / 1e3:.1f} K IOPS")
+    table.add_row("ingest", f"{pipeline.mb_per_s:.1f} MB/s")
+    table.add_row("inline hit rate", f"{report.inline_hit_rate:.1%}")
+    table.add_row("dedup inline", f"{report.inline_dedup_ratio:.2f}x")
+    table.add_row("dedup effective",
+                  f"{report.effective_dedup_ratio:.2f}x")
+    table.add_row("dedup oracle", f"{report.oracle_dedup_ratio:.2f}x")
+    table.add_row("oracle recovery", f"{report.recovery_fraction:.1%}")
+    if report.compaction:
+        table.add_row("compaction epochs",
+                      str(report.compaction["epochs"]))
+        table.add_row("compaction reclaimed",
+                      f"{report.compaction['reclaimed_bytes'] / 1e6:.1f}"
+                      " MB")
+    table.add_row("wall time", f"{time.time() - started:.1f} s")
+    table.print()
+    per_tenant = Table("per-tenant accounting",
+                       ["tenant", "chunks", "hit rate", "skips",
+                        "recovered", "p99 latency"])
+    for entry in report.tenants:
+        p99 = entry.latency.get("p99", 0.0)
+        per_tenant.add_row(entry.name, entry.chunks,
+                           f"{entry.inline_hit_rate:.1%}", entry.skips,
+                           entry.recovered, f"{p99 * 1e6:.0f} us")
+    per_tenant.print()
+    if tracer is not None:
+        return _dump_trace(tracer, args.trace)
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     mode = IntegrationMode(args.mode)
     platform = _platform_from(args)
@@ -87,6 +162,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.trace:
         from repro.obs import SimTracer
         tracer = SimTracer()
+    if args.tenants:
+        return _run_tenants(args, mode, platform, tracer)
     base_config = None
     if args.verify_memos:
         from repro import PipelineConfig
@@ -114,21 +191,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     table.add_row("wall time", f"{time.time() - started:.1f} s")
     table.print()
     if tracer is not None:
-        import json
-
-        from repro.obs import chrome_trace, validate_chrome_trace
-
-        payload = chrome_trace(tracer.spans)
-        problems = validate_chrome_trace(payload)
-        with open(args.trace, "w") as handle:
-            json.dump(payload, handle)
-        print(f"\ntrace: {len(payload['traceEvents'])} events -> "
-              f"{args.trace}")
-        if problems:
-            for problem in problems:
-                print(f"trace schema problem: {problem}",
-                      file=sys.stderr)
-            return 1
+        return _dump_trace(tracer, args.trace)
     return 0
 
 
@@ -268,6 +331,10 @@ def _bench_planes() -> dict:
         render_pipeline_bench,
         run_pipeline_bench,
     )
+    from repro.bench.tenancy import (
+        render_tenancy_bench,
+        run_tenancy_bench,
+    )
 
     return {
         "engine": ("engine hot-path",
@@ -280,6 +347,8 @@ def _bench_planes() -> dict:
                      run_pipeline_bench, render_pipeline_bench),
         "cluster": ("cluster shard plane",
                     run_cluster_bench, render_cluster_bench),
+        "tenancy": ("multi-tenant traffic plane",
+                    run_tenancy_bench, render_tenancy_bench),
     }
 
 
@@ -287,7 +356,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.experiments import registry
 
     if args.experiment in ("engine", "dataplane", "dedup", "pipeline",
-                           "cluster"):
+                           "cluster", "tenancy"):
         title, run, render = _bench_planes()[args.experiment]
         kwargs = {"profile": args.profile, "trace_path": args.trace}
         if args.experiment != "engine":
@@ -317,9 +386,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         started = time.time()
         results = run_all_benches(quick=args.quick)
         if args.json:
-            summary = {key: value for key, value in results.items()
-                       if key != "planes"}
-            print(json.dumps(summary, indent=2))
+            from repro.bench.allplanes import json_all_summary
+            print(json.dumps(json_all_summary(results), indent=2))
         else:
             print(f"=== all bench planes "
                   f"(wall {time.time() - started:.1f} s) ===")
@@ -334,6 +402,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("dedup")
         print("pipeline")
         print("cluster")
+        print("tenancy")
         print("all")
         return 0
     runner = experiments.get(args.experiment)
@@ -525,6 +594,20 @@ def build_parser() -> argparse.ArgumentParser:
                           "contract: replay sampled memo hits against "
                           "fresh computation (implies extra compute; "
                           "combine with --payload)")
+    run.add_argument("--tenants", metavar="SPEC_JSON", default=None,
+                     help="run a multi-tenant mix from a TenantMix "
+                          "JSON spec (see examples/tenant_mix.json); "
+                          "--dedup-ratio/--comp-ratio/--seed are "
+                          "ignored, the spec dials each tenant")
+    run.add_argument("--tenancy-policy",
+                     choices=("none", "shared_lru", "prioritized"),
+                     default="prioritized",
+                     help="inline admission policy for --tenants runs "
+                          "(DESIGN.md §15)")
+    run.add_argument("--tenancy-cache", type=int, default=1024,
+                     metavar="ENTRIES",
+                     help="inline fingerprint-cache capacity for "
+                          "--tenants runs")
     run.set_defaults(func=cmd_run)
 
     trace = sub.add_parser(
@@ -561,7 +644,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "'dataplane' (codec hot-loop perf), "
                             "'dedup' (index-plane perf), "
                             "'pipeline' (batched functional plane), "
-                            "'cluster' (sharded reduction), 'all', "
+                            "'cluster' (sharded reduction), "
+                            "'tenancy' (multi-tenant traffic), 'all', "
                             "or 'list'")
     bench.add_argument("--profile", action="store_true",
                        help="wrap 'engine'/'dataplane'/'dedup' runs "

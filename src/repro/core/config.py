@@ -102,6 +102,30 @@ class PipelineConfig:
     #: indexing" policy paying a GPU batch round-trip per chunk.
     arrival_rate_iops: float | None = None
 
+    # -- multi-tenant admission (repro.tenancy) ----------------------------
+    #: Inline-admission policy for multi-tenant runs: "none" (default)
+    #: keeps today's single-stream index path byte-identical;
+    #: "shared_lru" models a conventional shared fingerprint cache;
+    #: "prioritized" adds HPDedup-style locality estimation with
+    #: per-tenant residency shares and inline-skip for low-locality
+    #: streams (skipped chunks are recovered by out-of-line compaction).
+    tenancy_policy: str = "none"
+    #: Bounded inline fingerprint-cache budget (entries), shared across
+    #: tenants under both non-default policies.
+    tenancy_cache_entries: int = 1024
+    #: Sliding-sketch window of the per-tenant locality estimator.
+    tenancy_window: int = 256
+    #: Below this estimated duplicate locality a stream's chunks skip
+    #: inline dedup entirely ("prioritized" only).
+    tenancy_skip_threshold: float = 0.05
+    #: Chunks a tenant must contribute before its estimate can trigger
+    #: inline skips (cold-start guard).
+    tenancy_min_observe: int = 64
+    #: Admissions between residency-share rebalances ("prioritized").
+    tenancy_rebalance_period: int = 256
+    #: Deferred chunks per out-of-line compaction epoch.
+    compaction_batch: int = 256
+
     # -- codec memo --------------------------------------------------------
     #: Entry budget of the fingerprint-keyed codec memo shared by the
     #: CPU and GPU compression paths (0 disables).  Payload-mode only:
@@ -158,6 +182,36 @@ class PipelineConfig:
         if self.index_locking not in ("bins", "global"):
             raise ConfigError(
                 f"unknown index_locking {self.index_locking!r}")
+        if self.tenancy_policy not in ("none", "shared_lru",
+                                       "prioritized"):
+            raise ConfigError(
+                f"unknown tenancy_policy {self.tenancy_policy!r}")
+        if self.tenancy_policy != "none":
+            if not self.enable_dedup:
+                raise ConfigError(
+                    "tenancy admission needs enable_dedup=True")
+            if self.tenancy_cache_entries < 1:
+                raise ConfigError(
+                    f"invalid tenancy_cache_entries "
+                    f"{self.tenancy_cache_entries}")
+            if self.tenancy_window < 1:
+                raise ConfigError(
+                    f"invalid tenancy_window {self.tenancy_window}")
+            if not 0.0 <= self.tenancy_skip_threshold <= 1.0:
+                raise ConfigError(
+                    f"tenancy_skip_threshold must be in [0, 1], got "
+                    f"{self.tenancy_skip_threshold}")
+            if self.tenancy_min_observe < 0:
+                raise ConfigError(
+                    f"invalid tenancy_min_observe "
+                    f"{self.tenancy_min_observe}")
+            if self.tenancy_rebalance_period < 1:
+                raise ConfigError(
+                    f"invalid tenancy_rebalance_period "
+                    f"{self.tenancy_rebalance_period}")
+            if self.compaction_batch < 1:
+                raise ConfigError(
+                    f"invalid compaction_batch {self.compaction_batch}")
 
     def with_overrides(self, **kwargs) -> "PipelineConfig":
         """Copy with the given fields replaced."""

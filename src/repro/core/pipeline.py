@@ -33,6 +33,7 @@ is only possible on those terms).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Generator, Iterable, Optional
 
 from repro.chunkbatch import iter_windows
@@ -61,6 +62,7 @@ from repro.obs.stages import (
     STAGE_CHUNK,
     STAGE_CHUNKING,
     STAGE_COMMIT,
+    STAGE_COMPACTION,
     STAGE_COMPRESS,
     STAGE_CPU_INDEX,
     STAGE_DESTAGE,
@@ -68,10 +70,17 @@ from repro.obs.stages import (
     STAGE_GPU_INDEX,
     STAGE_PENDING_WAIT,
     STAGE_POSTPROCESS,
+    TRACK_COMPACTION,
     TRACK_DESTAGE,
     TRACK_WINDOW,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.tenancy.controller import (
+    ADMIT_HIT,
+    ADMIT_MISS,
+    ADMIT_SKIP,
+    TenancyController,
+)
 from repro.verify import MemoVerifier
 from repro.sim import Environment, Resource
 from repro.sim.histogram import LatencyHistogram
@@ -119,6 +128,21 @@ class ReductionPipeline:
             bin_buffer_total=config.bin_buffer_total,
             gpu_index=gpu_index,
             costs=cpu_costs) if config.enable_dedup else None
+
+        #: Multi-tenant admission layer (DESIGN.md §15); None under the
+        #: default policy, which keeps every single-stream code path —
+        #: and therefore every report — byte-identical to a pre-tenancy
+        #: pipeline.
+        self.tenancy: Optional[TenancyController] = None
+        if config.tenancy_policy != "none":
+            self.tenancy = TenancyController(
+                policy=config.tenancy_policy,
+                cache_entries=config.tenancy_cache_entries,
+                window=config.tenancy_window,
+                skip_threshold=config.tenancy_skip_threshold,
+                min_observe=config.tenancy_min_observe,
+                rebalance_period=config.tenancy_rebalance_period,
+                compaction_batch=config.compaction_batch)
 
         memo = (CodecMemo(capacity=config.codec_memo_entries)
                 if config.codec_memo_entries else None)
@@ -239,7 +263,74 @@ class ReductionPipeline:
         try:
             cfg = self.config
             costs = self.costs
-            if cfg.enable_dedup:
+            tenancy = self.tenancy
+            verdict = None
+            tenant_id = 0
+            if cfg.enable_dedup and tenancy is not None:
+                # Multi-tenant admission (DESIGN.md §15): the verdict
+                # comes from the bounded inline fingerprint cache, not
+                # the unbounded index.  Hits commit against the
+                # canonical record; misses and skips fall through to
+                # compression and store (canonically or as a deferred
+                # shadow copy — see the commit section below).
+                if chunk.fingerprint is None:
+                    fingerprint_chunk(chunk)
+                tenant_id = chunk.tenant if chunk.tenant is not None \
+                    else 0
+                verdict = tenancy.admit(tenant_id, chunk.fingerprint)
+                if verdict == ADMIT_SKIP:
+                    # Inline skip: low-locality stream — no hash, no
+                    # cache probe on the inline path; compaction
+                    # re-fingerprints the chunk in the background.
+                    cycles = (costs.chunking_cycles(chunk.size,
+                                                    cfg.content_defined)
+                              + costs.handoff_per_chunk)
+                    yield self.cpu.charge(cycles)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_CHUNKING, seq, admitted,
+                            expected_service_s=self.cpu.seconds(cycles))
+                    chunk.is_duplicate = False
+                else:
+                    ingest = (self.dedup.ingest_cycles(
+                        chunk, cfg.content_defined)
+                        + costs.handoff_per_chunk)
+                    yield self.cpu.charge(ingest)
+                    if trace is not None:
+                        chunking = costs.chunking_cycles(
+                            chunk.size, cfg.content_defined)
+                        trace.record_split(
+                            (STAGE_CHUNKING, STAGE_FINGERPRINT), seq,
+                            admitted,
+                            weights=(chunking, ingest - chunking),
+                            expected_service_s=self.cpu.seconds(ingest))
+                    start = self.env.now if trace is not None else 0.0
+                    yield self.cpu.charge(costs.bin_buffer_probe)
+                    if trace is not None:
+                        trace.record_since(
+                            STAGE_CPU_INDEX, seq, start,
+                            expected_service_s=self.cpu.seconds(
+                                costs.bin_buffer_probe),
+                            attrs={"path": "tenant_cache"})
+                    if verdict == ADMIT_HIT and self.dedup.metadata \
+                            .lookup(chunk.fingerprint) is not None:
+                        chunk.is_duplicate = True
+                        start = self.env.now if trace is not None else 0.0
+                        cycles = self.dedup.commit_duplicate(chunk)
+                        yield self.cpu.charge(cycles)
+                        if trace is not None:
+                            trace.record_since(
+                                STAGE_COMMIT, seq, start,
+                                expected_service_s=self.cpu.seconds(
+                                    cycles),
+                                attrs={"path": "tenant_hit"})
+                        return
+                    # A hit whose canonical record is still in flight
+                    # (or is a compaction-promoted shadow) cannot
+                    # dedup inline; it falls through to a raw shadow
+                    # store and compaction recovers the duplicate.
+                    chunk.is_duplicate = False
+            elif cfg.enable_dedup:
                 if chunk.fingerprint is None:
                     # The batched feeder fingerprints whole windows up
                     # front; only per-chunk admission still hashes here.
@@ -385,7 +476,53 @@ class ReductionPipeline:
                 chunk.compressed_size = chunk.size
 
             # -- commit --
-            if cfg.enable_dedup:
+            if cfg.enable_dedup and tenancy is not None:
+                start = self.env.now if trace is not None else 0.0
+                fingerprint = chunk.fingerprint
+                metadata = self.dedup.metadata
+                if chunk.compressed_size is None:
+                    chunk.compressed_size = chunk.size
+                if tenancy.store_as_unique(verdict, fingerprint,
+                                           metadata):
+                    metadata.store_unique(fingerprint, chunk.size,
+                                          chunk.compressed_size,
+                                          blob=blob)
+                    metadata.map_logical(chunk.offset, fingerprint,
+                                         chunk.size)
+                    tenancy.commit_stored(tenant_id)
+                    path = "tenant_unique"
+                else:
+                    # Raw shadow copy: an inline skip, or a miss whose
+                    # canonical owner already exists (hidden duplicate).
+                    # Compaction remaps it and sweeps the blob later.
+                    shadow = hashlib.sha1(
+                        f"tenancy-shadow:{seq}".encode()).digest()
+                    metadata.store_unique(shadow, chunk.size,
+                                          chunk.compressed_size,
+                                          blob=blob)
+                    metadata.map_logical(chunk.offset, shadow,
+                                         chunk.size)
+                    tenancy.defer(seq, tenant_id, chunk.offset,
+                                  chunk.size, fingerprint, shadow)
+                    tenancy.commit_shadow(tenant_id)
+                    path = "tenant_shadow"
+                cycles = (costs.bin_buffer_insert + costs.metadata_update
+                          + costs.destage_submit)
+                yield self.cpu.charge(cycles)
+                if trace is not None:
+                    trace.record_since(
+                        STAGE_COMMIT, seq, start,
+                        expected_service_s=self.cpu.seconds(cycles),
+                        attrs={"path": path})
+                if cfg.destage_enabled:
+                    self._spawn_destage(chunk.compressed_size,
+                                        sequential=False)
+                    self.destage_batches += 1
+                    self.destage_bytes += chunk.compressed_size
+                ready = tenancy.take_compaction_batch()
+                if ready is not None:
+                    self._spawn_compaction(ready)
+            elif cfg.enable_dedup:
                 start = self.env.now if trace is not None else 0.0
                 cycles, batch, unique = self.dedup.commit_unique(chunk, blob)
                 pending = self._pending.pop(chunk.fingerprint, None)
@@ -420,11 +557,20 @@ class ReductionPipeline:
                     self.destage_bytes += chunk.compressed_size
 
         finally:
-            self.latency.record(self.env.now - admitted)
+            elapsed = self.env.now - admitted
+            self.latency.record(elapsed)
+            if self.tenancy is not None:
+                self.tenancy.record_latency(
+                    chunk.tenant if chunk.tenant is not None else 0,
+                    elapsed)
             if trace is not None:
                 # The whole-chunk envelope: exactly the latency sample.
+                attrs = {"duplicate": bool(chunk.is_duplicate)}
+                if self.tenancy is not None:
+                    attrs["tenant"] = chunk.tenant \
+                        if chunk.tenant is not None else 0
                 trace.record(STAGE_CHUNK, seq, start=admitted,
-                             attrs={"duplicate": bool(chunk.is_duplicate)})
+                             attrs=attrs)
             self._window.release(slot)
             self._done += 1
             if self._done == self._total:
@@ -441,6 +587,20 @@ class ReductionPipeline:
                     RequestKind.WRITE, 0, nbytes, sequential=sequential))
 
         self.env.process(destage())
+
+    def _spawn_compaction(self, entries: list) -> None:
+        """One out-of-line compaction epoch as a background process."""
+        def compaction() -> Generator:
+            with self.tracer.span(STAGE_COMPACTION,
+                                  resource=TRACK_COMPACTION,
+                                  chunks=len(entries)):
+                cycles = self.tenancy.compaction_cycles(entries,
+                                                        self.costs)
+                yield self.cpu.charge(cycles)
+                self.tenancy.apply_compaction(entries,
+                                              self.dedup.metadata)
+
+        self.env.process(compaction())
 
     def _spawn_destage_vector(self, sizes: list[int],
                               sequential: bool) -> None:
@@ -562,6 +722,12 @@ class ReductionPipeline:
                 self._spawn_destage(batch.payload_bytes, sequential=True)
                 self.destage_batches += 1
                 self.destage_bytes += batch.payload_bytes
+        # Out-of-line compaction drain: every still-deferred shadow copy
+        # gets its background epoch before the report reads the
+        # metadata store, so recovered duplicates fold into dedup_ratio.
+        if self.tenancy is not None:
+            for entries in self.tenancy.drain_compaction():
+                self._spawn_compaction(entries)
         # Let stragglers (destage writes, batcher shutdown) settle for
         # reporting, without extending the measured duration.
         self.env.run()
@@ -620,6 +786,8 @@ class ReductionPipeline:
         registry.attach_histogram("pipeline.latency_s", self.latency)
         if self.dedup is not None:
             registry.absorb_counters("dedup", self.dedup.counters)
+        if self.tenancy is not None:
+            registry.absorb_counters("tenancy", self.tenancy.counters())
         registry.absorb_counters("scheduler",
                                  self.scheduler.stats.as_counters())
         if self.gpu is not None:

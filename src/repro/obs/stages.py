@@ -67,12 +67,17 @@ STAGE_NET_DISPATCH = "net_dispatch"
 STAGE_NET_FLUSH = "net_flush"
 STAGE_NET_REBALANCE = "net_rebalance"
 
+#: Out-of-line compaction epoch: re-fingerprinting inline-skipped
+#: chunks in sim-time background batches (repro.tenancy).
+STAGE_COMPACTION = "compaction"
+
 #: Resource/track names used by the Chrome exporter.
 TRACK_WINDOW = "window"
 TRACK_GPU_QUEUE = "gpu-queue"
 TRACK_SSD = "ssd"
 TRACK_DESTAGE = "destage"
 TRACK_NET = "netlink"
+TRACK_COMPACTION = "compaction"
 
 # -- report counter keys (DedupEngine.counters / PipelineReport.counters) ----
 

@@ -1,0 +1,142 @@
+"""Out-of-line compaction of inline-skipped chunks.
+
+Chunks the admission layer stored raw (inline-skip verdicts, and cache
+misses whose duplicate was hidden by the bounded cache) land here as
+:class:`CompactionEntry` records: the chunk's *real* fingerprint plus
+the synthetic shadow fingerprint it was stored under.  Background
+epochs re-fingerprint each deferred chunk (charged as SHA-1 plus an
+index probe plus a metadata update through ``SimCpu``), remap its
+logical offset to the canonical copy, and let the metadata store's
+zombie sweep reclaim the shadow blob — Li et al.'s hybrid
+inline/out-of-line design, which is what lets prioritized admission
+skip cold streams inline without giving up their dedup ratio.
+
+Identity argument: compaction only *remaps and sweeps*.  The logical
+map covers the same offsets with the same sizes before and after an
+epoch; only which physical record backs them changes, so
+``MetadataStore.dedup_ratio()`` — logical bytes over live unique raw
+bytes — monotonically recovers toward the oracle as epochs run, and
+``verify_invariants()`` holds at every epoch boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import ConfigError
+from repro.storage.metadata import MetadataStore
+
+__all__ = ["CompactionEntry", "CompactionQueue"]
+
+
+@dataclass(slots=True, frozen=True)
+class CompactionEntry:
+    """One deferred chunk awaiting out-of-line dedup."""
+
+    seq: int
+    tenant: int
+    offset: int
+    size: int
+    #: Real content fingerprint (known to the workload/hashing stage).
+    fingerprint: bytes
+    #: Synthetic fingerprint the raw chunk was stored under.
+    shadow_fp: bytes
+
+
+class CompactionQueue:
+    """Deferred-chunk queue plus the canonical-copy resolution state."""
+
+    __slots__ = ("batch", "epochs", "recovered", "reclaimed_bytes",
+                 "deferred", "_pending", "_canonical")
+
+    def __init__(self, batch: int):
+        if batch < 1:
+            raise ConfigError(f"invalid compaction batch {batch}")
+        self.batch = batch
+        self.epochs = 0
+        self.recovered = 0
+        self.reclaimed_bytes = 0
+        self.deferred = 0
+        self._pending: list[CompactionEntry] = []
+        #: fingerprint -> shadow fp promoted to canonical copy: the
+        #: first deferred occurrence of a fingerprint with no stored
+        #: canonical record keeps its blob; later copies remap to it.
+        self._canonical: dict[bytes, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def defer(self, entry: CompactionEntry) -> None:
+        """Queue one raw-stored chunk for a future epoch."""
+        self.deferred += 1
+        self._pending.append(entry)
+
+    def canonical_shadow(self, fingerprint: bytes) -> Optional[bytes]:
+        """The shadow promoted to canonical for ``fingerprint``, if any."""
+        return self._canonical.get(fingerprint)
+
+    def take_batch(self) -> Optional[list[CompactionEntry]]:
+        """A full epoch batch, or None while the queue is short."""
+        if len(self._pending) < self.batch:
+            return None
+        batch = self._pending[:self.batch]
+        del self._pending[:self.batch]
+        return batch
+
+    def drain(self) -> Iterator[list[CompactionEntry]]:
+        """End-of-run epochs: every remaining entry, batch by batch."""
+        while self._pending:
+            batch = self._pending[:self.batch]
+            del self._pending[:self.batch]
+            yield batch
+
+    def cycles_for(self, entries: list[CompactionEntry],
+                   costs) -> float:
+        """CPU cycles one epoch charges: re-hash + probe + remap each."""
+        cycles = 0.0
+        for entry in entries:
+            cycles += costs.sha1_cycles(entry.size)
+            cycles += costs.bin_buffer_probe
+            cycles += costs.metadata_update
+        return cycles
+
+    def apply(self, entries: list[CompactionEntry],
+              metadata: MetadataStore) -> list[int]:
+        """Run one epoch's functional work; returns recovered tenants.
+
+        Per entry: resolve the canonical copy of its real fingerprint
+        (a stored unique from the admission path, or a previously
+        promoted shadow), remap the logical offset onto it, and count
+        the duplicate as recovered.  First occurrences promote their
+        own shadow.  The end-of-epoch sweep reclaims every
+        dereferenced shadow blob.
+        """
+        recovered_tenants: list[int] = []
+        canonical = self._canonical
+        for entry in entries:
+            record = metadata.lookup(entry.fingerprint)
+            if record is not None:
+                target = entry.fingerprint
+            else:
+                promoted = canonical.get(entry.fingerprint)
+                if promoted is None:
+                    canonical[entry.fingerprint] = entry.shadow_fp
+                    continue
+                target = promoted
+            metadata.map_logical(entry.offset, target, entry.size)
+            self.recovered += 1
+            recovered_tenants.append(entry.tenant)
+        self.reclaimed_bytes += metadata.sweep_unreferenced()
+        self.epochs += 1
+        return recovered_tenants
+
+    def counters(self) -> dict[str, int]:
+        """Lifetime compaction counters (folded into the obs registry)."""
+        return {
+            "deferred": self.deferred,
+            "recovered": self.recovered,
+            "epochs": self.epochs,
+            "reclaimed_bytes": self.reclaimed_bytes,
+            "pending": len(self._pending),
+        }

@@ -50,6 +50,9 @@ class Chunk:
     is_duplicate: Optional[bool] = None
     #: Compressed size in bytes, set by the compression stage.
     compressed_size: Optional[int] = None
+    #: Owning tenant id in multi-tenant runs (``repro.tenancy``);
+    #: ``None`` for single-stream workloads.
+    tenant: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:

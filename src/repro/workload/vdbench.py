@@ -68,7 +68,8 @@ class VdbenchStream:
     def __init__(self, dedup_ratio: float = 2.0, comp_ratio: float = 2.0,
                  chunk_size: int = DEFAULT_CHUNK_SIZE, seed: int = 0,
                  payload: bool = False, comp_spread: float = 0.15,
-                 locality: float = 0.5, working_set: int = 128):
+                 locality: float = 0.5, working_set: int = 128,
+                 offset_base: int = 0):
         if dedup_ratio < 1.0:
             raise WorkloadError(
                 f"dedup_ratio must be >= 1.0, got {dedup_ratio}")
@@ -81,6 +82,9 @@ class VdbenchStream:
         if working_set < 1:
             raise WorkloadError(
                 f"working_set must be >= 1, got {working_set}")
+        if offset_base < 0:
+            raise WorkloadError(
+                f"offset_base must be >= 0, got {offset_base}")
         self.dedup_ratio = dedup_ratio
         self.comp_ratio = comp_ratio
         self.chunk_size = chunk_size
@@ -93,7 +97,9 @@ class VdbenchStream:
         self._dup_probability = 1.0 - 1.0 / dedup_ratio
         #: Per-unique-id compression ratio (duplicates share content).
         self._unique_ratios: list[float] = []
-        self._offset = 0
+        #: Logical address cursor; tenancy mixes give each tenant a
+        #: disjoint address stride so interleaved streams never collide.
+        self._offset = offset_base
         self._content = BlockContentGenerator(comp_ratio, seed=seed) \
             if payload else None
         #: Batched-path caches: duplicates reuse the unique's fingerprint

@@ -1,0 +1,21 @@
+# repro-lint: module=repro.bench.fixture
+"""Fixture: REP901 — tenant-private admission state outside repro.tenancy."""
+from repro.tenancy import PrioritizedCache, TenancyController
+from repro.tenancy.spec import TenantMixStream
+
+
+def peek_estimator_state(controller: TenancyController) -> float:
+    sketch = controller._estimators[0]  # expect REP901 on this line (8)
+    return sum(sketch._counts.values())  # expect REP901 (9)
+
+
+def rig_residency(cache: PrioritizedCache) -> None:
+    cache._quotas[0] = cache.capacity  # expect REP901 on this line (13)
+
+
+def steal_scheduling_rng(stream: TenantMixStream) -> float:
+    return stream._sched_rng.random()  # expect REP901 on this line (17)
+
+
+def mediated_readout_is_fine(controller: TenancyController) -> dict:
+    return controller.counters()  # mediated access: no finding

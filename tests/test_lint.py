@@ -56,6 +56,8 @@ EXPECTED = {
     "rep704_module_state.py": [("REP704", 10), ("REP704", 11)],
     "rep801_cluster_access.py": [("REP801", 8), ("REP801", 9),
                                  ("REP801", 13)],
+    "rep901_tenant_access.py": [("REP901", 8), ("REP901", 9),
+                                ("REP901", 13), ("REP901", 17)],
 }
 
 
